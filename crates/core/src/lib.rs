@@ -1,0 +1,72 @@
+//! # rotor-core
+//!
+//! The multi-agent rotor-router of Klasing, Kosowski, Pająk and Sauerwald
+//! (*The multi-agent rotor-router on the ring: a deterministic alternative
+//! to parallel random walks*, PODC 2013 / Distributed Computing 2017).
+//!
+//! ## The model (paper §1.3)
+//!
+//! `k ≥ 1` indistinguishable agents move on an undirected connected graph in
+//! synchronous rounds. A *configuration* is `((ρ_v), (π_v), {r_1, …, r_k})`:
+//! the fixed cyclic port orders, a current *port pointer* per node, and the
+//! multiset of agent locations. In each round, every agent at node `r`
+//! leaves along the arc indicated by `π_r`, which is then advanced to the
+//! next arc in cyclic order; agents sharing a node leave along consecutive
+//! ports. The system is fully deterministic.
+//!
+//! ## What this crate provides
+//!
+//! * [`Engine`] — a reference implementation on arbitrary
+//!   [`PortGraph`]s, tracking visit counts `n_v(t)`, exit counts `e_v(t)`
+//!   and per-arc traversal counts (the identity
+//!   `traversals(v→u) = ⌈(e_v − port_v(u)) / deg(v)⌉` is exposed and
+//!   tested).
+//! * [`RingRouter`] — a ring-specialised engine (pointer = direction bit,
+//!   `O(k log k)` per round) used by the large parameter sweeps, with
+//!   online tracking of the visit metadata needed for domain analysis.
+//! * [`init`] — the pointer initialisations the paper's theorems use:
+//!   *negative* (toward the nearest agent — every first visit reflects),
+//!   *positive* (away), uniform, random and custom adversarial.
+//! * [`placement`] — agent placements (all-on-one, equally spaced, random,
+//!   custom) and the *remote vertex* machinery of Definition 2 / Lemma 15.
+//! * [`delays`] — delayed deployments `D : V × N → N` (§2.1) and helpers
+//!   for the slow-down lemma (Lemma 3).
+//! * [`domains`] — agent domains, lazy domains, propagation/reflection
+//!   visit types and vertex-/edge-type borders (§2.2, Fig. 1).
+//! * [`limit`] — Brent cycle detection on the configuration sequence and
+//!   the *return time* of the limit behaviour (§4, Theorem 6).
+//! * [`lockin`] — single-agent Eulerian lock-in certification (the
+//!   Yanovski et al. baseline behaviour).
+//!
+//! ## Quick example
+//!
+//! Cover time of 4 agents on a 64-node ring, from the worst-case
+//! initialisation of Theorem 1 (all agents on one node, pointers toward it):
+//!
+//! ```
+//! use rotor_core::{init::PointerInit, placement::Placement, RingRouter};
+//!
+//! let n = 64;
+//! let placement = Placement::AllOnOne(0).positions(n, 4);
+//! let pointers = PointerInit::TowardNearestAgent.ring_directions(n, &placement);
+//! let mut router = RingRouter::new(n, &placement, &pointers);
+//! let cover = router.run_until_covered(1_000_000).expect("covers");
+//! assert!(cover > 0 && cover < 64 * 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delays;
+pub mod domains;
+mod engine;
+pub mod init;
+pub mod limit;
+pub mod lockin;
+pub mod placement;
+mod ring;
+
+pub use engine::{Engine, EngineState};
+pub use ring::{RingRouter, RingState, VisitRecord};
+
+pub use rotor_graph::{NodeId, PortGraph};

@@ -1,0 +1,205 @@
+//! Eulerian circuits of the directed symmetric version `G⃗`.
+//!
+//! Yanovski et al. showed that a single rotor-router agent stabilises, within
+//! `2D·|E|` steps, to a repeated traversal of a *directed Eulerian circuit* of
+//! `G⃗` — the directed graph with both orientations of every edge. `G⃗` is
+//! always Eulerian (in-degree equals out-degree at every node, and it is
+//! strongly connected whenever `G` is connected). This module provides:
+//!
+//! * [`eulerian_circuit`] — an explicit circuit via Hierholzer's algorithm,
+//!   giving a ground-truth object of length `2|E|`;
+//! * [`is_eulerian_circuit`] — verification that an arc sequence is a
+//!   directed Eulerian circuit, used by `rotor-core` to certify lock-in.
+
+use crate::{Arc, NodeId, PortGraph};
+
+/// Computes a directed Eulerian circuit of `G⃗` starting at `start`, as a
+/// sequence of `2|E|` arcs, via Hierholzer's algorithm.
+///
+/// `G⃗` is Eulerian for every connected `G`, so this always succeeds.
+///
+/// ```
+/// use rotor_graph::{builders, euler, NodeId};
+/// let g = builders::ring(5);
+/// let c = euler::eulerian_circuit(&g, NodeId::new(0));
+/// assert_eq!(c.len(), 10);
+/// assert!(euler::is_eulerian_circuit(&g, &c));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the graph has no edges.
+pub fn eulerian_circuit(g: &PortGraph, start: NodeId) -> Vec<Arc> {
+    assert!(g.edge_count() > 0, "graph has no edges");
+    // next unused out-port per node
+    let mut next_port: Vec<usize> = vec![0; g.node_count()];
+    let mut stack: Vec<NodeId> = vec![start];
+    let mut circuit_nodes: Vec<NodeId> = Vec::with_capacity(g.arc_count() + 1);
+    while let Some(&v) = stack.last() {
+        if next_port[v.index()] < g.degree(v) {
+            let p = next_port[v.index()];
+            next_port[v.index()] += 1;
+            stack.push(g.neighbor(v, p));
+        } else {
+            circuit_nodes.push(v);
+            stack.pop();
+        }
+    }
+    circuit_nodes.reverse();
+    debug_assert_eq!(circuit_nodes.len(), g.arc_count() + 1);
+    circuit_nodes
+        .windows(2)
+        .map(|w| Arc::new(w[0], w[1]))
+        .collect()
+}
+
+/// Whether `arcs` forms a directed Eulerian circuit of `G⃗`: consecutive
+/// (head-to-tail, cyclically closed) and using each of the `2|E|` arcs
+/// exactly once.
+pub fn is_eulerian_circuit(g: &PortGraph, arcs: &[Arc]) -> bool {
+    if arcs.len() != g.arc_count() || arcs.is_empty() {
+        return false;
+    }
+    // Closed and consecutive.
+    for w in arcs.windows(2) {
+        if w[0].to != w[1].from {
+            return false;
+        }
+    }
+    if arcs[arcs.len() - 1].to != arcs[0].from {
+        return false;
+    }
+    // Each arc exactly once (and each arc must exist).
+    let mut seen = std::collections::HashSet::with_capacity(arcs.len());
+    for a in arcs {
+        if !g.has_edge(a.from, a.to) {
+            return false;
+        }
+        if !seen.insert(*a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `arcs` is a rotation of an Eulerian circuit that an agent
+/// repeating forever would produce: checks [`is_eulerian_circuit`] on the
+/// window and additionally that the window starts where the previous one
+/// ended (trivially true for a single window).
+///
+/// Helper for lock-in certification: given a trace of `2|E|·r` arcs, verify
+/// that every consecutive window of length `2|E|` is the same circuit.
+pub fn is_repeated_circuit(g: &PortGraph, trace: &[Arc]) -> bool {
+    let period = g.arc_count();
+    if period == 0 || trace.len() < 2 * period {
+        return false;
+    }
+    let first = &trace[..period];
+    if !is_eulerian_circuit(g, first) {
+        return false;
+    }
+    trace
+        .chunks(period)
+        .take(trace.len() / period)
+        .all(|w| w == first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn circuit_on_ring() {
+        let g = builders::ring(6);
+        let c = eulerian_circuit(&g, NodeId::new(2));
+        assert_eq!(c.len(), 12);
+        assert!(is_eulerian_circuit(&g, &c));
+        assert_eq!(c[0].from, NodeId::new(2));
+    }
+
+    #[test]
+    fn circuit_on_assorted_graphs() {
+        for g in [
+            builders::path(7),
+            builders::star(5),
+            builders::complete(5),
+            builders::grid(3, 3),
+            builders::hypercube(3),
+            builders::binary_tree(10),
+        ] {
+            let c = eulerian_circuit(&g, NodeId::new(0));
+            assert_eq!(c.len(), g.arc_count());
+            assert!(is_eulerian_circuit(&g, &c), "invalid circuit on {g:?}");
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length() {
+        let g = builders::ring(4);
+        let c = eulerian_circuit(&g, NodeId::new(0));
+        assert!(!is_eulerian_circuit(&g, &c[..c.len() - 1]));
+        assert!(!is_eulerian_circuit(&g, &[]));
+    }
+
+    #[test]
+    fn verify_rejects_non_consecutive() {
+        let g = builders::ring(4);
+        let mut c = eulerian_circuit(&g, NodeId::new(0));
+        c.swap(1, 5);
+        assert!(!is_eulerian_circuit(&g, &c));
+    }
+
+    #[test]
+    fn verify_rejects_duplicate_arc() {
+        let g = builders::ring(3);
+        // walk around clockwise twice: consecutive and closed, but each
+        // clockwise arc twice and no anticlockwise arcs
+        let cw: Vec<Arc> = (0..6u32)
+            .map(|i| Arc::new(NodeId::new(i % 3), NodeId::new((i + 1) % 3)))
+            .collect();
+        assert_eq!(cw.len(), g.arc_count());
+        assert!(!is_eulerian_circuit(&g, &cw));
+    }
+
+    #[test]
+    fn verify_rejects_open_walk() {
+        let g = builders::path(3);
+        // 0->1,1->2,2->1 is consecutive but not closed / wrong multiset
+        let w = vec![
+            Arc::new(NodeId::new(0), NodeId::new(1)),
+            Arc::new(NodeId::new(1), NodeId::new(2)),
+            Arc::new(NodeId::new(2), NodeId::new(1)),
+            Arc::new(NodeId::new(1), NodeId::new(2)),
+        ];
+        assert!(!is_eulerian_circuit(&g, &w));
+    }
+
+    #[test]
+    fn repeated_circuit_accepts_true_repetition() {
+        let g = builders::ring(5);
+        let c = eulerian_circuit(&g, NodeId::new(0));
+        let mut trace = c.clone();
+        trace.extend_from_slice(&c);
+        trace.extend_from_slice(&c);
+        assert!(is_repeated_circuit(&g, &trace));
+    }
+
+    #[test]
+    fn repeated_circuit_rejects_single_period() {
+        let g = builders::ring(5);
+        let c = eulerian_circuit(&g, NodeId::new(0));
+        assert!(!is_repeated_circuit(&g, &c));
+    }
+
+    #[test]
+    fn repeated_circuit_rejects_phase_shift() {
+        let g = builders::ring(5);
+        let c = eulerian_circuit(&g, NodeId::new(0));
+        let mut trace = c.clone();
+        let mut shifted = c.clone();
+        shifted.rotate_left(2);
+        trace.extend_from_slice(&shifted);
+        assert!(!is_repeated_circuit(&g, &trace));
+    }
+}
