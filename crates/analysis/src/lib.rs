@@ -1,1 +1,106 @@
-pub fn placeholder() {}
+//! # rotor-analysis
+//!
+//! Statistics for rotor-router parameter sweeps.
+//!
+//! Experiments in this workspace produce per-(n, k, seed) samples of cover
+//! times, return times and throughput; this crate holds the shared
+//! post-processing: order statistics and regime-fitting helpers used to
+//! compare measured cover times against the paper's `Θ(n²/log k)` (worst
+//! case) and `Θ(n²/k²)`–`Θ(n²/k)` (best case) ring regimes. The heavier
+//! sweep-sharding driver is an open ROADMAP item unblocked by this PR.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Summary order statistics of a sample of `u64` measurements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum value.
+    pub min: u64,
+    /// Median (lower median for even counts).
+    pub median: u64,
+    /// Maximum value.
+    pub max: u64,
+}
+
+/// Computes [`Summary`] statistics of `samples`.
+///
+/// Returns `None` for an empty sample.
+///
+/// ```
+/// use rotor_analysis::summarize;
+/// let s = summarize(&[5, 1, 9, 3]).unwrap();
+/// assert_eq!((s.min, s.median, s.max), (1, 3, 9));
+/// ```
+pub fn summarize(samples: &[u64]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(Summary {
+        count: sorted.len(),
+        min: sorted[0],
+        median: sorted[(sorted.len() - 1) / 2],
+        max: sorted[sorted.len() - 1],
+    })
+}
+
+/// Median of a sample (lower median for even counts); `None` when empty.
+pub fn median(samples: &[u64]) -> Option<u64> {
+    summarize(samples).map(|s| s.median)
+}
+
+/// The empirical exponent `α` in `T(k) ≈ C·k^α` fitted between two
+/// measurements `(k₁, t₁)` and `(k₂, t₂)` — the log-log slope.
+///
+/// Used to distinguish the paper's best-case regimes: `α ≈ −2` in the
+/// `k ≲ log n` range (Theorem 3's `Θ(n²/k²)`) flattening toward `α ≈ −1`.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn loglog_slope(k1: u64, t1: u64, k2: u64, t2: u64) -> f64 {
+    assert!(
+        k1 > 0 && t1 > 0 && k2 > 0 && t2 > 0,
+        "log-log needs positives"
+    );
+    assert_ne!(k1, k2, "need two distinct k values");
+    ((t2 as f64).ln() - (t1 as f64).ln()) / ((k2 as f64).ln() - (k1 as f64).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_basics() {
+        assert_eq!(summarize(&[]), None);
+        let s = summarize(&[7]).unwrap();
+        assert_eq!((s.count, s.min, s.median, s.max), (1, 7, 7, 7));
+        let s = summarize(&[4, 2, 8, 6]).unwrap();
+        assert_eq!(s.median, 4, "lower median of even count");
+    }
+
+    #[test]
+    fn median_matches_summary() {
+        assert_eq!(median(&[3, 1, 2]), Some(2));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn slope_of_inverse_square_is_minus_two() {
+        // T(k) = 10^6 / k²
+        let t = |k: u64| 1_000_000 / (k * k);
+        let a = loglog_slope(1, t(1), 4, t(4));
+        assert!((a + 2.0).abs() < 0.01, "slope {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn slope_rejects_equal_k() {
+        loglog_slope(2, 10, 2, 20);
+    }
+}

@@ -1,1 +1,86 @@
-fn main() {}
+//! Round throughput of the general-graph engine on the standard workloads
+//! (grid, hypercube, random regular) — the binding constraint on every
+//! sweep in this repository.
+//!
+//! Writes `BENCH_engine_throughput.json` with rounds/sec per workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rotor_bench::report::{write_summary, Json};
+use rotor_core::init::PointerInit;
+use rotor_core::Engine;
+use rotor_graph::{builders, NodeId, PortGraph};
+use std::time::Instant;
+
+/// Agents per workload: enough to keep a meaningful occupied set alive.
+const AGENTS: u32 = 64;
+
+fn workloads() -> Vec<(&'static str, PortGraph)> {
+    vec![
+        ("grid_64x64", builders::grid(64, 64)),
+        ("hypercube_10", builders::hypercube(10)),
+        (
+            "random_regular_1024_4",
+            builders::random_regular(1024, 4, 1),
+        ),
+    ]
+}
+
+fn spread_agents(g: &PortGraph, k: u32) -> Vec<NodeId> {
+    let n = g.node_count() as u32;
+    (0..k).map(|i| NodeId::new(i * n / k)).collect()
+}
+
+/// Rounds/sec over a timed run of `rounds` rounds (after a warm-up).
+fn measure_rounds_per_sec(g: &PortGraph, rounds: u64) -> f64 {
+    let agents = spread_agents(g, AGENTS);
+    let mut e = Engine::new(g, &agents, &PointerInit::Random(7));
+    e.run(rounds / 10 + 1); // warm-up: caches, occupied list steady state
+    let start = Instant::now();
+    e.run(rounds);
+    rounds as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    let rounds: u64 = if c.is_test_mode() { 64 } else { 4096 };
+
+    // Machine-readable summary for cross-PR trajectory tracking.
+    let mut rows = Vec::new();
+    for (name, g) in workloads() {
+        let rps = measure_rounds_per_sec(&g, rounds);
+        rows.push(Json::obj([
+            ("graph", Json::Str(name.into())),
+            ("nodes", Json::Int(g.node_count() as u64)),
+            ("edges", Json::Int(g.edge_count() as u64)),
+            ("agents", Json::Int(u64::from(AGENTS))),
+            ("rounds", Json::Int(rounds)),
+            ("rounds_per_sec", Json::Num(rps)),
+        ]));
+    }
+    if c.is_test_mode() {
+        println!("test mode: BENCH_engine_throughput.json left untouched");
+    } else {
+        let path = write_summary(
+            "engine_throughput",
+            &Json::obj([
+                ("bench", Json::Str("engine_throughput".into())),
+                ("workloads", Json::Arr(rows)),
+            ]),
+        );
+        println!("wrote {}", path.display());
+    }
+
+    // Interactive timing report.
+    let mut group = c.benchmark_group("engine_throughput");
+    group.throughput(Throughput::Elements(rounds));
+    for (name, g) in workloads() {
+        let agents = spread_agents(&g, AGENTS);
+        let mut e = Engine::new(&g, &agents, &PointerInit::Random(7));
+        group.bench_function(BenchmarkId::new("rounds", name), |b| {
+            b.iter(|| e.run(rounds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

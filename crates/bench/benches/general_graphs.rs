@@ -1,1 +1,74 @@
-fn main() {}
+//! Cover times on general graphs against the `2·D·|E|` lock-in-regime
+//! bound (Yanovski et al., §1.2) — the sanity anchor for everything the
+//! engine reports off the ring.
+//!
+//! Writes `BENCH_general_graphs.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotor_bench::report::{write_summary, Json};
+use rotor_core::init::PointerInit;
+use rotor_core::Engine;
+use rotor_graph::{algo, builders, NodeId, PortGraph};
+
+fn workloads(test_mode: bool) -> Vec<(&'static str, PortGraph)> {
+    if test_mode {
+        vec![
+            ("grid_8x8", builders::grid(8, 8)),
+            ("lollipop_12_12", builders::lollipop(12, 12)),
+        ]
+    } else {
+        vec![
+            ("grid_16x16", builders::grid(16, 16)),
+            ("hypercube_8", builders::hypercube(8)),
+            ("random_regular_256_4", builders::random_regular(256, 4, 3)),
+            ("lollipop_24_24", builders::lollipop(24, 24)),
+        ]
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    for (name, g) in workloads(c.is_test_mode()) {
+        let bound = 2 * u64::from(algo::diameter(&g)) * g.edge_count() as u64;
+        for k in [1u32, 4] {
+            let agents: Vec<NodeId> = vec![NodeId::new(0); k as usize];
+            let mut e = Engine::new(&g, &agents, &PointerInit::TowardNearestAgent);
+            let cover = e
+                .run_until_covered(4 * bound)
+                .expect("cover within the lock-in regime");
+            rows.push(Json::obj([
+                ("graph", Json::Str(name.into())),
+                ("k", Json::Int(u64::from(k))),
+                ("cover", Json::Int(cover)),
+                ("bound_2_d_e", Json::Int(bound)),
+                ("ratio", Json::Num(cover as f64 / bound as f64)),
+            ]));
+        }
+    }
+    if c.is_test_mode() {
+        println!("test mode: BENCH_general_graphs.json left untouched");
+    } else {
+        let path = write_summary(
+            "general_graphs",
+            &Json::obj([
+                ("bench", Json::Str("general_graphs".into())),
+                ("rows", Json::Arr(rows)),
+            ]),
+        );
+        println!("wrote {}", path.display());
+    }
+
+    let mut group = c.benchmark_group("general_graphs");
+    let g = builders::grid(16, 16);
+    group.bench_function(BenchmarkId::new("cover", "grid_16x16_k4"), |b| {
+        b.iter(|| {
+            let agents = vec![NodeId::new(0); 4];
+            let mut e = Engine::new(&g, &agents, &PointerInit::TowardNearestAgent);
+            e.run_until_covered(u64::MAX)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,1 +1,69 @@
-fn main() {}
+//! Return times of the limit behaviour (§4): Brent cycle detection over
+//! the configuration sequence, reporting the transient tail `μ` and limit
+//! period `λ` per configuration.
+//!
+//! Writes `BENCH_return_time.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotor_bench::report::{write_summary, Json};
+use rotor_core::init::PointerInit;
+use rotor_core::limit;
+use rotor_core::placement::Placement;
+
+const MAX_STEPS: u64 = 10_000_000;
+
+fn configs(test_mode: bool) -> Vec<(usize, usize)> {
+    // (ring size n, agents k)
+    if test_mode {
+        vec![(16, 1), (16, 2)]
+    } else {
+        vec![(16, 1), (16, 2), (64, 1), (64, 2), (64, 4), (256, 1)]
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    for (n, k) in configs(c.is_test_mode()) {
+        let starts = Placement::AllOnOne(0).positions(n, k);
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+        let info = limit::ring_cycle(n, &starts, &dirs, MAX_STEPS);
+        rows.push(Json::obj([
+            ("n", Json::Int(n as u64)),
+            ("k", Json::Int(k as u64)),
+            ("found", Json::Bool(info.is_some())),
+            (
+                "tail",
+                info.map(|i| Json::Int(i.tail)).unwrap_or(Json::Null),
+            ),
+            (
+                "period",
+                info.map(|i| Json::Int(i.period)).unwrap_or(Json::Null),
+            ),
+        ]));
+    }
+    if c.is_test_mode() {
+        println!("test mode: BENCH_return_time.json left untouched");
+    } else {
+        let path = write_summary(
+            "return_time",
+            &Json::obj([
+                ("bench", Json::Str("return_time".into())),
+                ("max_steps", Json::Int(MAX_STEPS)),
+                ("rows", Json::Arr(rows)),
+            ]),
+        );
+        println!("wrote {}", path.display());
+    }
+
+    let mut group = c.benchmark_group("return_time");
+    let (n, k) = (64usize, 2usize);
+    let starts = Placement::AllOnOne(0).positions(n, k);
+    let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+    group.bench_function(BenchmarkId::new("brent_ring", format!("n{n}_k{k}")), |b| {
+        b.iter(|| limit::ring_cycle(n, &starts, &dirs, MAX_STEPS));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,1 +1,98 @@
-fn main() {}
+//! The paper's Table 1 on the ring: cover time as a function of the number
+//! of agents `k`, from the worst-case placement/initialisation (all agents
+//! on one node, pointers toward it — Theorems 1–2, the `Θ(n²/log k)`
+//! regime) and the best-case placement (agents equally spaced — Theorems
+//! 3–4, between `Θ(n²/k²)` and `Θ(n²/k)`), plus the median over random
+//! placements.
+//!
+//! Writes `BENCH_table1.json` with cover-time medians and ring rounds/sec
+//! per `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rotor_bench::report::{write_summary, Json};
+use rotor_core::init::PointerInit;
+use rotor_core::placement::Placement;
+use rotor_core::RingRouter;
+use std::time::Instant;
+
+const RANDOM_SEEDS: u64 = 5;
+
+fn cover_time(n: usize, placement: &Placement, init: &PointerInit, k: usize) -> u64 {
+    let starts = placement.positions(n, k);
+    let dirs = init.ring_directions(n, &starts);
+    let mut r = RingRouter::new(n, &starts, &dirs);
+    r.run_until_covered(u64::MAX)
+        .expect("rotor-router always covers")
+}
+
+fn bench(c: &mut Criterion) {
+    let n: usize = if c.is_test_mode() { 64 } else { 1024 };
+    let ks: Vec<usize> = (0..)
+        .map(|i| 1usize << i)
+        .take_while(|&k| k <= n / 16)
+        .collect();
+
+    let mut rows = Vec::new();
+    for &k in &ks {
+        // Worst case is deterministic; time it to get ring rounds/sec too.
+        let start = Instant::now();
+        let worst = cover_time(
+            n,
+            &Placement::AllOnOne(0),
+            &PointerInit::TowardNearestAgent,
+            k,
+        );
+        let rps = worst as f64 / start.elapsed().as_secs_f64();
+        let best = cover_time(
+            n,
+            &Placement::EquallySpaced { offset: 0 },
+            &PointerInit::TowardNearestAgent,
+            k,
+        );
+        let random_covers: Vec<u64> = (0..RANDOM_SEEDS)
+            .map(|s| cover_time(n, &Placement::Random(s), &PointerInit::Random(s ^ 0xA5), k))
+            .collect();
+        let random_median = rotor_analysis::median(&random_covers).expect("non-empty seed range");
+        rows.push(Json::obj([
+            ("k", Json::Int(k as u64)),
+            ("worst_cover", Json::Int(worst)),
+            ("best_cover", Json::Int(best)),
+            ("random_median_cover", Json::Int(random_median)),
+            ("rounds_per_sec_worst", Json::Num(rps)),
+        ]));
+    }
+    if c.is_test_mode() {
+        println!("test mode: BENCH_table1.json left untouched");
+    } else {
+        let path = write_summary(
+            "table1",
+            &Json::obj([
+                ("bench", Json::Str("table1".into())),
+                ("n", Json::Int(n as u64)),
+                ("random_seeds", Json::Int(RANDOM_SEEDS)),
+                ("rows", Json::Arr(rows)),
+            ]),
+        );
+        println!("wrote {}", path.display());
+    }
+
+    // Interactive timing of the worst-case sweep end-points.
+    let mut group = c.benchmark_group("table1");
+    for &k in &[ks[0], *ks.last().expect("non-empty k range")] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("worst_cover", format!("n{n}_k{k}")), |b| {
+            b.iter(|| {
+                cover_time(
+                    n,
+                    &Placement::AllOnOne(0),
+                    &PointerInit::TowardNearestAgent,
+                    k,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Delayed deployments `D : V × N → N` (§2.1).
+//!
+//! The paper's proofs frequently compare an execution with a *delayed* one
+//! in which some agents are held at their nodes for chosen rounds: a
+//! delayed deployment is a function `D(v, t)` giving the number of agents
+//! held at node `v` in round `t` (clamped to the number actually present).
+//! Held agents neither move nor advance the pointer, and staying put does
+//! not count as a visit. The *slow-down lemma* (Lemma 3) states that
+//! delaying deployments never decreases the time at which any vertex is
+//! visited, which is why worst-case arguments may freeze agents freely.
+//!
+//! Both engines expose a per-round closure hook
+//! ([`Engine::step_delayed`], [`RingRouter::step_delayed`]); this module
+//! provides the explicit schedule object `D` the paper's notation uses,
+//! plus drivers that replay it round by round.
+
+use crate::engine::Engine;
+use crate::ring::RingRouter;
+use std::collections::HashMap;
+
+/// An explicit delayed deployment `D : V × N → N`: `delay(v, t)` agents are
+/// held at node `v` in round `t`.
+///
+/// Rounds are numbered from 1 (the first call to `step`), matching
+/// `Engine::round()` / `RingRouter::round()` after the step completes.
+/// Unspecified pairs default to 0 (no delay).
+///
+/// ```
+/// use rotor_core::delays::DelaySchedule;
+/// use rotor_core::RingRouter;
+///
+/// let mut d = DelaySchedule::new();
+/// d.hold(3, 1, 2); // hold two agents at node 3 in round 1
+/// let mut r = RingRouter::new(8, &[3, 3], &[0; 8]);
+/// rotor_core::delays::step_ring(&mut r, &d);
+/// assert_eq!(r.agents_at(3), 2, "both agents held");
+/// rotor_core::delays::step_ring(&mut r, &d);
+/// assert_eq!(r.agents_at(3), 0, "no delay scheduled for round 2");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DelaySchedule {
+    held: HashMap<(u32, u64), u32>,
+}
+
+impl DelaySchedule {
+    /// The empty schedule (`D ≡ 0`, the undelayed execution).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Holds `count` agents at node `v` in round `round` (replacing any
+    /// previous entry for that pair).
+    pub fn hold(&mut self, v: u32, round: u64, count: u32) -> &mut Self {
+        self.held.insert((v, round), count);
+        self
+    }
+
+    /// Holds `count` agents at node `v` for every round in `rounds`.
+    pub fn hold_during(&mut self, v: u32, rounds: std::ops::Range<u64>, count: u32) -> &mut Self {
+        for t in rounds {
+            self.hold(v, t, count);
+        }
+        self
+    }
+
+    /// `D(v, round)`: how many agents the schedule holds at `v` in `round`.
+    pub fn delay(&self, v: u32, round: u64) -> u32 {
+        self.held.get(&(v, round)).copied().unwrap_or(0)
+    }
+
+    /// Whether the schedule is identically zero.
+    pub fn is_empty(&self) -> bool {
+        self.held.values().all(|&c| c == 0)
+    }
+}
+
+/// Advances `engine` one round under `schedule` (the round being executed is
+/// `engine.round() + 1`).
+pub fn step_engine(engine: &mut Engine<'_>, schedule: &DelaySchedule) {
+    let round = engine.round() + 1;
+    engine.step_delayed(|v, _| schedule.delay(v, round));
+}
+
+/// Advances `router` one round under `schedule`.
+pub fn step_ring(router: &mut RingRouter, schedule: &DelaySchedule) {
+    let round = router.round() + 1;
+    router.step_delayed(|v, _| schedule.delay(v, round));
+}
+
+/// Runs `rounds` rounds of `engine` under `schedule`.
+pub fn run_engine(engine: &mut Engine<'_>, schedule: &DelaySchedule, rounds: u64) {
+    for _ in 0..rounds {
+        step_engine(engine, schedule);
+    }
+}
+
+/// Runs `rounds` rounds of `router` under `schedule`.
+pub fn run_ring(router: &mut RingRouter, schedule: &DelaySchedule, rounds: u64) {
+    for _ in 0..rounds {
+        step_ring(router, schedule);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::PointerInit;
+    use rotor_graph::{builders, NodeId};
+
+    #[test]
+    fn empty_schedule_matches_undelayed() {
+        let g = builders::grid(3, 3);
+        let agents = [NodeId::new(0), NodeId::new(4)];
+        let init = PointerInit::Uniform(0);
+        let mut a = Engine::new(&g, &agents, &init);
+        let mut b = Engine::new(&g, &agents, &init);
+        let schedule = DelaySchedule::new();
+        assert!(schedule.is_empty());
+        for _ in 0..50 {
+            a.step();
+            step_engine(&mut b, &schedule);
+            assert_eq!(a.state(), b.state());
+        }
+    }
+
+    #[test]
+    fn schedule_holds_then_releases() {
+        let mut d = DelaySchedule::new();
+        d.hold_during(5, 1..4, 1);
+        assert_eq!(d.delay(5, 1), 1);
+        assert_eq!(d.delay(5, 3), 1);
+        assert_eq!(d.delay(5, 4), 0);
+        assert_eq!(d.delay(6, 1), 0);
+
+        let mut r = RingRouter::new(10, &[5], &[0; 10]);
+        run_ring(&mut r, &d, 3);
+        assert_eq!(r.agents_at(5), 1, "held for rounds 1..4");
+        assert_eq!(r.round(), 3);
+        step_ring(&mut r, &d);
+        assert_eq!(r.agents_at(6), 1, "released in round 4");
+    }
+
+    #[test]
+    fn slow_down_lemma_flavour_on_ring() {
+        // Lemma 3: delaying agents never makes any vertex be visited
+        // earlier. Compare first-visit coverage after the same number of
+        // rounds with and without a delay.
+        let n = 24;
+        let starts = [0u32, 0];
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+        let mut plain = RingRouter::new(n, &starts, &dirs);
+        let mut slow = RingRouter::new(n, &starts, &dirs);
+        let mut d = DelaySchedule::new();
+        d.hold_during(0, 1..20, 1);
+        for _ in 0..200 {
+            plain.step();
+            step_ring(&mut slow, &d);
+            for v in 0..n as u32 {
+                // anything the delayed run has visited, the plain run has too
+                if slow.is_visited(v) {
+                    assert!(plain.is_visited(v), "delay visited {v} first");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_schedule_clamps_to_present_agents() {
+        let g = builders::ring(6);
+        let mut e = Engine::new(&g, &[NodeId::new(2)], &PointerInit::Uniform(0));
+        let mut d = DelaySchedule::new();
+        d.hold(2, 1, 10); // more than present: clamped
+        step_engine(&mut e, &d);
+        assert_eq!(e.agents_at(NodeId::new(2)), 1);
+    }
+}

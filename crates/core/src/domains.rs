@@ -1,0 +1,221 @@
+//! Agent domains and visit-type classification (§2.2, Fig. 1).
+//!
+//! The paper's ring analysis partitions time into visits of two *types*: a
+//! single agent arriving at a node whose pointer points onward continues
+//! through (a **propagation**), while one arriving against the pointer is
+//! sent back where it came from (a **reflection**). Nodes where two agents
+//! arrive in the same round are **meeting** points, and the domains of the
+//! proofs are the maximal contiguous visited segments of the ring in which
+//! an agent zig-zags between its two borders.
+//!
+//! This module consumes the [`VisitRecord`] metadata that [`RingRouter`]
+//! tracks online and exposes the classification plus the current domain
+//! (visited-segment) structure used by the §2.2 arguments.
+
+use crate::ring::{RingRouter, VisitRecord};
+
+/// The §2.2 classification of the most recent visit to a node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VisitType {
+    /// The node has only held its initially placed agents (round 0).
+    Initial,
+    /// A single agent passed through, continuing in its direction of
+    /// motion.
+    Propagation,
+    /// A single agent was turned back the way it came.
+    Reflection,
+    /// Two or more agents entered the node in the same round.
+    Meeting,
+}
+
+/// Classifies a visit record.
+///
+/// ```
+/// use rotor_core::domains::{classify, VisitType};
+/// use rotor_core::RingRouter;
+///
+/// let mut r = RingRouter::new(6, &[1], &[0; 6]); // all pointers clockwise
+/// r.step();
+/// // node 2's pointer is clockwise, so the clockwise arrival propagates
+/// assert_eq!(classify(r.last_visit(2).unwrap()), VisitType::Propagation);
+/// ```
+pub fn classify(rec: &VisitRecord) -> VisitType {
+    if rec.round == 0 {
+        VisitType::Initial
+    } else if rec.multiplicity >= 2 {
+        VisitType::Meeting
+    } else if rec.propagation {
+        VisitType::Propagation
+    } else {
+        VisitType::Reflection
+    }
+}
+
+/// Classifies the most recent visit to `v`, or `None` if `v` was never
+/// visited.
+pub fn classify_last(router: &RingRouter, v: u32) -> Option<VisitType> {
+    router.last_visit(v).map(classify)
+}
+
+/// A maximal contiguous segment of visited ring nodes: `len` nodes starting
+/// at `start` and extending clockwise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Domain {
+    /// First node of the segment (anticlockwise end).
+    pub start: u32,
+    /// Number of nodes in the segment (`n` when the whole ring is covered).
+    pub len: u32,
+}
+
+impl Domain {
+    /// Whether `v` lies in this domain on an `n`-node ring.
+    pub fn contains(&self, n: u32, v: u32) -> bool {
+        (v + n - self.start) % n < self.len
+    }
+}
+
+/// The maximal contiguous visited segments of the ring, in increasing order
+/// of `start`.
+///
+/// Initially these are the agents' starting positions; they grow as
+/// exploration proceeds and merge when two explored segments meet. Once the
+/// cover time is reached there is a single domain of length `n`.
+pub fn visited_domains(router: &RingRouter) -> Vec<Domain> {
+    let n = router.n();
+    let mut runs: Vec<Domain> = Vec::new();
+    let mut current: Option<(u32, u32)> = None; // (start, len)
+    for v in 0..n {
+        if router.is_visited(v) {
+            match current.as_mut() {
+                Some((_, len)) => *len += 1,
+                None => current = Some((v, 1)),
+            }
+        } else if let Some((start, len)) = current.take() {
+            runs.push(Domain { start, len });
+        }
+    }
+    if let Some((start, len)) = current.take() {
+        runs.push(Domain { start, len });
+    }
+    // Merge a run ending at n−1 with one starting at 0 (cyclic wrap), unless
+    // they are the same run covering the whole ring.
+    if runs.len() >= 2 {
+        let first = runs[0];
+        let last = *runs.last().expect("non-empty");
+        if first.start == 0 && last.start + last.len == n {
+            runs.pop();
+            runs[0] = Domain {
+                start: last.start,
+                len: last.len + first.len,
+            };
+        }
+    }
+    runs.sort_unstable_by_key(|d| d.start);
+    runs
+}
+
+/// Number of *border* nodes: visited nodes adjacent to an unvisited node
+/// (both ends of every unfinished domain; 0 once the ring is covered).
+pub fn border_count(router: &RingRouter) -> u32 {
+    let n = router.n();
+    (0..n)
+        .filter(|&v| {
+            router.is_visited(v)
+                && (!router.is_visited((v + 1) % n) || !router.is_visited((v + n - 1) % n))
+        })
+        .count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{PointerInit, ACW, CW};
+    use crate::placement::Placement;
+
+    #[test]
+    fn classify_all_variants() {
+        // Initial: untouched starting node.
+        let r = RingRouter::new(8, &[3], &[CW; 8]);
+        assert_eq!(classify_last(&r, 3), Some(VisitType::Initial));
+        assert_eq!(classify_last(&r, 0), None);
+
+        // Propagation: arrival with the pointer.
+        let mut r = RingRouter::new(8, &[3], &[CW; 8]);
+        r.step();
+        assert_eq!(classify_last(&r, 4), Some(VisitType::Propagation));
+
+        // Reflection: arrival against the pointer.
+        let mut dirs = vec![CW; 8];
+        dirs[4] = ACW;
+        let mut r = RingRouter::new(8, &[3], &dirs);
+        r.step();
+        assert_eq!(classify_last(&r, 4), Some(VisitType::Reflection));
+
+        // Meeting: two agents converge.
+        let mut dirs = vec![CW; 8];
+        dirs[5] = ACW;
+        let mut r = RingRouter::new(8, &[3, 5], &dirs);
+        r.step();
+        assert_eq!(classify_last(&r, 4), Some(VisitType::Meeting));
+    }
+
+    #[test]
+    fn domains_start_at_placements_and_merge_to_ring() {
+        let n = 32;
+        let starts = Placement::EquallySpaced { offset: 0 }.positions(n, 4);
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+        let mut r = RingRouter::new(n, &starts, &dirs);
+        let d0 = visited_domains(&r);
+        assert_eq!(d0.len(), 4, "one domain per isolated start");
+        assert!(d0.iter().all(|d| d.len == 1));
+        assert_eq!(
+            border_count(&r),
+            4,
+            "singleton domains have one border node"
+        );
+
+        let cover = r.run_until_covered(100_000).expect("covers");
+        assert!(cover > 0);
+        let d1 = visited_domains(&r);
+        assert_eq!(
+            d1,
+            vec![Domain {
+                start: 0,
+                len: n as u32
+            }]
+        );
+        assert_eq!(border_count(&r), 0);
+    }
+
+    #[test]
+    fn domains_wrap_around_zero() {
+        // Visited nodes straddling position 0 form one cyclic domain.
+        let mut r = RingRouter::new(10, &[9], &[CW; 10]);
+        r.step(); // agent 9 -> 0
+        r.step(); // agent 0 -> 1
+        let d = visited_domains(&r);
+        assert_eq!(d, vec![Domain { start: 9, len: 3 }]);
+        assert!(d[0].contains(10, 9));
+        assert!(d[0].contains(10, 0));
+        assert!(d[0].contains(10, 1));
+        assert!(!d[0].contains(10, 2));
+        assert_eq!(border_count(&r), 2);
+    }
+
+    #[test]
+    fn domain_count_never_exceeds_agent_count() {
+        // Domains only grow/merge, so there are at most k of them.
+        let n = 64;
+        let starts = Placement::Random(11).positions(n, 6);
+        let dirs = PointerInit::Random(3).ring_directions(n, &starts);
+        let mut r = RingRouter::new(n, &starts, &dirs);
+        let k = starts
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        for _ in 0..500 {
+            r.step();
+            assert!(visited_domains(&r).len() <= k);
+        }
+    }
+}

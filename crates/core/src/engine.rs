@@ -19,6 +19,7 @@
 //!   `label_v(p) = (p − π_v(0)) mod deg(v)` (§1.3; checked by
 //!   [`Engine::arc_identity_holds`] and property tests).
 
+use crate::bitset::VisitSet;
 use crate::init::PointerInit;
 use rotor_graph::{NodeId, PortGraph};
 
@@ -57,14 +58,18 @@ pub struct Engine<'g> {
     k: u32,
     visits: Vec<u64>,
     exits: Vec<u64>,
-    /// `arc_traversals[v][p]` = times an agent left `v` through port `p`.
-    arc_traversals: Vec<Vec<u64>>,
-    visited: Vec<bool>,
+    /// Flat per-arc exit counters, CSR-aligned with the graph:
+    /// `arc_traversals[g.arc_offset(v) + p]` = times an agent left `v`
+    /// through port `p`.
+    arc_traversals: Vec<u64>,
+    visited: VisitSet,
     unvisited: usize,
     cover_round: Option<u64>,
     /// Scratch buffer of `(dest, count)` arrivals, kept between rounds to
     /// avoid reallocation.
     arrivals: Vec<(u32, u32)>,
+    /// Scratch buffer for the next occupied-node list.
+    next_occupied: Vec<u32>,
 }
 
 impl<'g> Engine<'g> {
@@ -98,14 +103,13 @@ impl<'g> Engine<'g> {
         let n = g.node_count();
         let mut count = vec![0u32; n];
         let mut visits = vec![0u64; n];
-        let mut visited = vec![false; n];
+        let mut visited = VisitSet::new(n);
         let mut unvisited = n;
         for &a in agents {
             assert!(a.index() < n, "agent position out of range");
             count[a.index()] += 1;
             visits[a.index()] += 1; // n_v(0) = agents placed at v
-            if !visited[a.index()] {
-                visited[a.index()] = true;
+            if visited.insert(a.index()) {
                 unvisited -= 1;
             }
         }
@@ -115,7 +119,7 @@ impl<'g> Engine<'g> {
             occ.dedup();
             occ
         };
-        let arc_traversals = g.nodes().map(|v| vec![0u64; g.degree(v)]).collect();
+        let arc_traversals = vec![0u64; g.arc_count()];
         let cover_round = (unvisited == 0).then_some(0);
         Engine {
             g,
@@ -132,6 +136,7 @@ impl<'g> Engine<'g> {
             unvisited,
             cover_round,
             arrivals: Vec::new(),
+            next_occupied: Vec::new(),
         }
     }
 
@@ -182,12 +187,13 @@ impl<'g> Engine<'g> {
     ///
     /// Panics if `p >= deg(v)`.
     pub fn arc_traversals(&self, v: NodeId, p: usize) -> u64 {
-        self.arc_traversals[v.index()][p]
+        assert!(p < self.g.degree(v), "port out of range");
+        self.arc_traversals[self.g.arc_offset(v) + p]
     }
 
     /// Whether `v` has ever been visited (or initially held an agent).
     pub fn is_visited(&self, v: NodeId) -> bool {
-        self.visited[v.index()]
+        self.visited.contains(v.index())
     }
 
     /// Number of never-visited nodes.
@@ -221,8 +227,13 @@ impl<'g> Engine<'g> {
     pub fn step_delayed(&mut self, mut delay: impl FnMut(u32, u32) -> u32) {
         self.round += 1;
         let mut arrivals = std::mem::take(&mut self.arrivals);
+        let mut next_occ = std::mem::take(&mut self.next_occupied);
         arrivals.clear();
-        // Process departures; agents[v] keeps only held agents.
+        next_occ.clear();
+        // Departures: `c` agents leaving a node of degree `d` take `c/d`
+        // full round-robin cycles plus one extra exit through each of the
+        // `c mod d` ports starting at the pointer — O(min(c, d)) arithmetic
+        // per node, never per agent. agents[v] keeps only held agents.
         for i in 0..self.occupied.len() {
             let v = self.occupied[i];
             let c = self.agents[v as usize];
@@ -230,6 +241,9 @@ impl<'g> Engine<'g> {
             let held = delay(v, c).min(c);
             let moving = c - held;
             self.agents[v as usize] = held;
+            if held > 0 {
+                next_occ.push(v);
+            }
             if moving == 0 {
                 continue;
             }
@@ -238,46 +252,56 @@ impl<'g> Engine<'g> {
             let ptr = self.pointers[v as usize];
             let full = moving / deg;
             let rem = moving % deg;
-            for p in 0..deg {
-                // ports ptr, ptr+1, …, ptr+rem−1 get one extra traversal
-                let offset = (p + deg - ptr) % deg;
-                let cnt = full + u32::from(offset < rem);
-                if cnt > 0 {
-                    self.arc_traversals[v as usize][p as usize] += u64::from(cnt);
-                    let dest = self.g.neighbor(node, p as usize).value();
+            let base = self.g.arc_offset(node);
+            let nbrs = self.g.neighbor_slice(node);
+            if full == 0 {
+                // fewer movers than ports: only ports ptr..ptr+rem−1 fire
+                for offset in 0..rem {
+                    let p = ptr + offset;
+                    let p = if p >= deg { p - deg } else { p } as usize;
+                    self.arc_traversals[base + p] += 1;
+                    arrivals.push((nbrs[p], 1));
+                }
+            } else {
+                for (p, &dest) in nbrs.iter().enumerate() {
+                    // ports ptr, ptr+1, …, ptr+rem−1 get one extra traversal
+                    let offset = (p as u32 + deg - ptr) % deg;
+                    let cnt = full + u32::from(offset < rem);
+                    self.arc_traversals[base + p] += u64::from(cnt);
                     arrivals.push((dest, cnt));
                 }
             }
             self.pointers[v as usize] = (ptr + moving) % deg;
             self.exits[v as usize] += u64::from(moving);
         }
-        // Apply arrivals.
-        arrivals.sort_unstable();
-        let mut occ: Vec<u32> = self
-            .occupied
-            .iter()
-            .copied()
-            .filter(|&v| self.agents[v as usize] > 0)
-            .collect();
+        // Arrivals: accumulate straight into the agent counts — no sorting
+        // of the arrival stream. Each node enters `next_occ` at most once
+        // (held nodes during departures; arrival targets only on their
+        // 0 → positive transition), so a sort of the small occupied list is
+        // all that remains.
         for &(dest, cnt) in &arrivals {
             let d = dest as usize;
             if self.agents[d] == 0 {
-                occ.push(dest);
+                next_occ.push(dest);
             }
             self.agents[d] += cnt;
             self.visits[d] += u64::from(cnt);
-            if !self.visited[d] {
-                self.visited[d] = true;
+            if self.visited.insert(d) {
                 self.unvisited -= 1;
                 if self.unvisited == 0 && self.cover_round.is_none() {
                     self.cover_round = Some(self.round);
                 }
             }
         }
-        occ.sort_unstable();
-        occ.dedup();
-        self.occupied = occ;
+        next_occ.sort_unstable();
+        std::mem::swap(&mut self.occupied, &mut next_occ);
         self.arrivals = arrivals;
+        self.next_occupied = next_occ;
+        debug_assert_eq!(
+            self.unvisited,
+            self.g.node_count() - self.visited.count_ones(),
+            "unvisited counter agrees with popcount"
+        );
         debug_assert_eq!(
             self.occupied
                 .iter()
@@ -318,6 +342,7 @@ impl<'g> Engine<'g> {
         for v in self.g.nodes() {
             let deg = self.g.degree(v) as u64;
             let ev = self.exits[v.index()];
+            let base = self.g.arc_offset(v);
             for p in 0..self.g.degree(v) {
                 let label = (p as u64 + deg - u64::from(self.initial_pointers[v.index()])) % deg;
                 let expected = if ev > label {
@@ -325,7 +350,7 @@ impl<'g> Engine<'g> {
                 } else {
                     0
                 };
-                if self.arc_traversals[v.index()][p] != expected {
+                if self.arc_traversals[base + p] != expected {
                     return false;
                 }
             }
@@ -434,7 +459,11 @@ mod tests {
         let mut e = Engine::new(&g, &ids(&[0, 5, 5, 9]), &PointerInit::Random(3));
         for _ in 0..200 {
             e.step();
-            let total: u32 = e.occupied().iter().map(|&v| e.agents_at(NodeId::new(v))).sum();
+            let total: u32 = e
+                .occupied()
+                .iter()
+                .map(|&v| e.agents_at(NodeId::new(v)))
+                .sum();
             assert_eq!(total, 4);
         }
     }
@@ -465,7 +494,11 @@ mod tests {
         e.step_delayed(|_, c| c);
         assert_eq!(e.agents_at(NodeId::new(3)), 2);
         assert_eq!(e.exits(NodeId::new(3)), 0);
-        assert_eq!(e.pointer(NodeId::new(3)), 0, "held agents don't advance pointer");
+        assert_eq!(
+            e.pointer(NodeId::new(3)),
+            0,
+            "held agents don't advance pointer"
+        );
         // hold one of two
         e.step_delayed(|_, _| 1);
         assert_eq!(e.agents_at(NodeId::new(3)), 1);
@@ -478,7 +511,11 @@ mod tests {
         let g = builders::ring(5);
         let mut e = Engine::new(&g, &ids(&[1]), &PointerInit::Uniform(0));
         e.step_delayed(|_, _| 99);
-        assert_eq!(e.agents_at(NodeId::new(1)), 1, "clamped delay holds the agent");
+        assert_eq!(
+            e.agents_at(NodeId::new(1)),
+            1,
+            "clamped delay holds the agent"
+        );
     }
 
     #[test]

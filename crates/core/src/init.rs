@@ -64,10 +64,7 @@ impl PointerInit {
     pub fn pointers(&self, g: &PortGraph, agents: &[NodeId]) -> Vec<u32> {
         let n = g.node_count();
         match self {
-            PointerInit::Uniform(p) => g
-                .nodes()
-                .map(|v| (*p % g.degree(v)) as u32)
-                .collect(),
+            PointerInit::Uniform(p) => g.nodes().map(|v| (*p % g.degree(v)) as u32).collect(),
             PointerInit::TowardNearestAgent => {
                 assert!(!agents.is_empty(), "negative init needs >= 1 agent");
                 let dist = algo::multi_source_distances(g, agents);
@@ -95,8 +92,7 @@ impl PointerInit {
                         (0..g.degree(v))
                             .find(|&p| dist[g.neighbor(v, p).index()] > dv)
                             .or_else(|| {
-                                (0..g.degree(v))
-                                    .find(|&p| dist[g.neighbor(v, p).index()] >= dv)
+                                (0..g.degree(v)).find(|&p| dist[g.neighbor(v, p).index()] >= dv)
                             })
                             .unwrap_or(0) as u32
                     })
@@ -235,8 +231,14 @@ mod tests {
     #[test]
     fn uniform_ring_dirs() {
         assert_eq!(PointerInit::Uniform(0).ring_directions(5, &[]), vec![CW; 5]);
-        assert_eq!(PointerInit::Uniform(1).ring_directions(5, &[]), vec![ACW; 5]);
-        assert_eq!(PointerInit::Uniform(3).ring_directions(4, &[]), vec![ACW; 4]);
+        assert_eq!(
+            PointerInit::Uniform(1).ring_directions(5, &[]),
+            vec![ACW; 5]
+        );
+        assert_eq!(
+            PointerInit::Uniform(3).ring_directions(4, &[]),
+            vec![ACW; 4]
+        );
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Brent cycle detection on the configuration sequence and return times
+//! (§4, Theorem 6).
+//!
+//! A rotor-router system is deterministic with a finite configuration
+//! space, so the sequence of configurations `x₀, x₁, …` is eventually
+//! periodic: after a transient *tail* of `μ` rounds it enters a *limit
+//! cycle* of period `λ` (for a single agent, the limit cycle is the
+//! Eulerian traversal of `G⃗`, so `λ` divides a multiple of `2|E|`; see
+//! [`crate::lockin`]). The paper's §4 studies the *return time* — how long
+//! the limit behaviour takes to revisit a configuration — and Theorem 6
+//! bounds it on the ring.
+//!
+//! Brent's algorithm finds `(μ, λ)` with `O(μ + λ)` steps and `O(1)`
+//! stored snapshots, which matters here because configurations are
+//! `Θ(n)`-sized.
+
+use crate::engine::{Engine, EngineState};
+use crate::init::PointerInit;
+use crate::ring::{RingRouter, RingState};
+use rotor_graph::{NodeId, PortGraph};
+
+/// The eventually-periodic structure of a deterministic sequence: a tail of
+/// `tail` steps followed by a cycle of period `period`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CycleInfo {
+    /// `μ`: index of the first configuration on the limit cycle.
+    pub tail: u64,
+    /// `λ`: length of the limit cycle — the *return time* of the limit
+    /// behaviour.
+    pub period: u64,
+}
+
+/// Brent cycle detection over the sequence `snap(m₀), snap(m₁), …` where
+/// `m₀ = new()` and `m_{i+1}` is `m_i` advanced by `step`.
+///
+/// Returns `None` if no repetition is certified within `max_steps` steps of
+/// the hare (i.e. when `μ + λ` may exceed `max_steps`).
+///
+/// `new` must produce machines that generate the identical sequence each
+/// time (the rotor-router is deterministic, so any engine constructor
+/// qualifies).
+pub fn brent<M, S, New, Step, Snap>(
+    new: New,
+    mut step: Step,
+    mut snap: Snap,
+    max_steps: u64,
+) -> Option<CycleInfo>
+where
+    New: Fn() -> M,
+    Step: FnMut(&mut M),
+    Snap: FnMut(&M) -> S,
+    S: PartialEq,
+{
+    // Phase 1: find the period λ. The tortoise waits at x_{2^i − 1} while
+    // the hare walks; when the hare has walked a full power-of-two block
+    // without matching, the tortoise teleports to it.
+    let mut machine = new();
+    let mut tortoise = snap(&machine);
+    step(&mut machine);
+    let mut steps: u64 = 1;
+    let mut hare = snap(&machine);
+    let mut power: u64 = 1;
+    let mut lambda: u64 = 1;
+    while tortoise != hare {
+        if power == lambda {
+            tortoise = hare;
+            power = power.checked_mul(2).expect("power-of-two overflow");
+            lambda = 0;
+        }
+        if steps >= max_steps {
+            return None;
+        }
+        step(&mut machine);
+        steps += 1;
+        hare = snap(&machine);
+        lambda += 1;
+    }
+
+    // Phase 2: find the tail μ with two machines λ apart walking in step.
+    let mut front = new();
+    for _ in 0..lambda {
+        step(&mut front);
+    }
+    let mut back = new();
+    let mut tail: u64 = 0;
+    while snap(&back) != snap(&front) {
+        step(&mut back);
+        step(&mut front);
+        tail += 1;
+        if tail > max_steps {
+            return None;
+        }
+    }
+    Some(CycleInfo {
+        tail,
+        period: lambda,
+    })
+}
+
+/// Cycle structure of the general-graph engine from the given start
+/// configuration.
+///
+/// ```
+/// use rotor_core::{init::PointerInit, limit};
+/// use rotor_graph::{builders, NodeId};
+///
+/// let g = builders::ring(5);
+/// let info = limit::engine_cycle(&g, &[NodeId::new(0)], &PointerInit::Uniform(0), 10_000)
+///     .expect("small system cycles quickly");
+/// // single agent: the limit cycle is the Eulerian traversal of 2|E| arcs
+/// assert_eq!(info.period, 10);
+/// ```
+pub fn engine_cycle(
+    g: &PortGraph,
+    agents: &[NodeId],
+    init: &PointerInit,
+    max_steps: u64,
+) -> Option<CycleInfo> {
+    let pointers = init.pointers(g, agents);
+    brent(
+        || Engine::with_pointers(g, agents, pointers.clone()),
+        Engine::step,
+        |e| -> EngineState { e.state() },
+        max_steps,
+    )
+}
+
+/// Cycle structure of the ring engine from the given start configuration.
+pub fn ring_cycle(n: usize, starts: &[u32], dirs: &[u8], max_steps: u64) -> Option<CycleInfo> {
+    brent(
+        || RingRouter::new(n, starts, dirs),
+        RingRouter::step,
+        |r| -> RingState { r.state() },
+        max_steps,
+    )
+}
+
+/// The *return time* of the limit behaviour on the ring (§4): the period of
+/// the limit cycle reached from the given start configuration.
+pub fn ring_return_time(n: usize, starts: &[u32], dirs: &[u8], max_steps: u64) -> Option<u64> {
+    ring_cycle(n, starts, dirs, max_steps).map(|c| c.period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::CW;
+    use rotor_graph::builders;
+
+    /// Reference: naive cycle detection storing every state.
+    fn naive_ring_cycle(n: usize, starts: &[u32], dirs: &[u8], max: u64) -> Option<CycleInfo> {
+        let mut r = RingRouter::new(n, starts, dirs);
+        let mut seen = vec![r.state()];
+        for _ in 0..max {
+            r.step();
+            let s = r.state();
+            if let Some(pos) = seen.iter().position(|x| *x == s) {
+                return Some(CycleInfo {
+                    tail: pos as u64,
+                    period: (seen.len() - pos) as u64,
+                });
+            }
+            seen.push(s);
+        }
+        None
+    }
+
+    #[test]
+    fn brent_on_synthetic_rho_sequence() {
+        // x_{i+1} = f(x_i) on a known rho shape: tail 5, cycle 7.
+        let f = |x: u64| if x < 5 { x + 1 } else { 5 + ((x - 5) + 1) % 7 };
+        let info = brent(|| 0u64, |x| *x = f(*x), |x| *x, 1000).unwrap();
+        assert_eq!(info, CycleInfo { tail: 5, period: 7 });
+    }
+
+    #[test]
+    fn brent_pure_cycle_has_zero_tail() {
+        let info = brent(|| 0u64, |x| *x = (*x + 1) % 4, |x| *x, 100).unwrap();
+        assert_eq!(info, CycleInfo { tail: 0, period: 4 });
+    }
+
+    #[test]
+    fn brent_times_out() {
+        assert_eq!(brent(|| 0u64, |x| *x += 1, |x| *x, 50), None);
+    }
+
+    #[test]
+    fn single_agent_ring_period_is_two_e() {
+        for n in [3usize, 5, 8] {
+            let info = ring_cycle(n, &[0], &vec![CW; n], 100_000).unwrap();
+            assert_eq!(info.period, 2 * n as u64, "ring n={n}");
+        }
+    }
+
+    #[test]
+    fn brent_matches_naive_on_small_rings() {
+        for (n, starts) in [(4usize, vec![0u32]), (5, vec![0, 2]), (6, vec![1, 1, 4])] {
+            let dirs = vec![CW; n];
+            let fast = ring_cycle(n, &starts, &dirs, 1_000_000).unwrap();
+            let slow = naive_ring_cycle(n, &starts, &dirs, 1_000_000).unwrap();
+            assert_eq!(fast, slow, "n={n} starts={starts:?}");
+        }
+    }
+
+    #[test]
+    fn engine_cycle_matches_ring_cycle() {
+        let n = 6;
+        let g = builders::ring(n);
+        let starts = [NodeId::new(0), NodeId::new(3)];
+        let fast = engine_cycle(&g, &starts, &PointerInit::Uniform(0), 1_000_000).unwrap();
+        let ring = ring_cycle(n, &[0, 3], &[CW; 6], 1_000_000).unwrap();
+        assert_eq!(fast, ring);
+    }
+
+    #[test]
+    fn multi_agent_period_divides_multiple_of_two_e() {
+        // In the limit, every arc is traversed the same number of times per
+        // period, so the period is a multiple of 2|E|/k' for some split; the
+        // robust check is that the total traversal count per period is a
+        // multiple of... keep to the paper-backed fact: period >= 1 and the
+        // cycle really repeats.
+        let n = 8usize;
+        let starts = [0u32, 4];
+        let dirs = vec![CW; n];
+        let info = ring_cycle(n, &starts, &dirs, 1_000_000).unwrap();
+        let mut r = RingRouter::new(n, &starts, &dirs);
+        for _ in 0..info.tail {
+            r.step();
+        }
+        let on_cycle = r.state();
+        for _ in 0..info.period {
+            r.step();
+        }
+        assert_eq!(r.state(), on_cycle, "period certified by replay");
+    }
+}

@@ -276,6 +276,9 @@ mod tests {
         assert_eq!(max_gap(10, &[0, 5]), 5);
         assert_eq!(max_gap(10, &[3, 3, 3]), 10);
         assert_eq!(max_gap(10, &[0, 1, 2]), 8);
-        assert_eq!(max_gap(12, &Placement::EquallySpaced { offset: 0 }.positions(12, 4)), 3);
+        assert_eq!(
+            max_gap(12, &Placement::EquallySpaced { offset: 0 }.positions(12, 4)),
+            3
+        );
     }
 }

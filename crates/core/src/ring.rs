@@ -8,15 +8,20 @@
 //! its pointer direction and `⌊c/2⌋` the other way, and flips its pointer
 //! iff `c` is odd.
 //!
-//! The engine maintains only the occupied-node list, so a round costs
-//! `O(k log k)` rather than `O(n)` — essential for the `Θ(n²/log k)`
-//! worst-case cover sweeps of experiment E1.
+//! The engine maintains only the occupied-node list, and exploits the fact
+//! that both arrival streams of a round are *already sorted*: walking the
+//! sorted occupied list emits clockwise destinations in increasing order
+//! (up to one wrap at `n−1 → 0`) and likewise for anticlockwise ones, so a
+//! round is a true `O(k)` three-way merge of the held/CW/ACW streams — no
+//! per-round sort at all. This matters for the `Θ(n²/log k)` worst-case
+//! cover sweeps of experiment E1, which run millions of rounds.
 //!
 //! For the domain analysis of §2.2 it records, per node, the last visit's
 //! round, multiplicity, entry direction, and whether it was a
 //! *propagation* (the agent continues through) or a *reflection* (the agent
 //! is sent back where it came from).
 
+use crate::bitset::VisitSet;
 use crate::init::{ACW, CW};
 
 /// Snapshot of the mutable configuration of a [`RingRouter`]: direction
@@ -67,13 +72,17 @@ pub struct RingRouter {
     /// Sorted `(node, count)` with `count > 0`.
     occ: Vec<(u32, u32)>,
     round: u64,
-    visited: Vec<bool>,
+    visited: VisitSet,
     unvisited: u32,
     cover_round: Option<u64>,
     visits: Vec<u64>,
     last_visit: Vec<VisitRecord>,
-    /// Scratch buffers reused between rounds.
-    moves: Vec<(u32, u32, u8)>,
+    /// Scratch buffers reused between rounds: the three pre-sorted move
+    /// streams of a round (held agents, clockwise arrivals, anticlockwise
+    /// arrivals) and the merge output.
+    held: Vec<(u32, u32)>,
+    cw_moves: Vec<(u32, u32)>,
+    acw_moves: Vec<(u32, u32)>,
     next_occ: Vec<(u32, u32)>,
 }
 
@@ -103,7 +112,7 @@ impl RingRouter {
             .map(|(v, &c)| (v as u32, c))
             .collect();
         occ.sort_unstable();
-        let mut visited = vec![false; n];
+        let mut visited = VisitSet::new(n);
         let mut visits = vec![0u64; n];
         let mut last_visit = vec![
             VisitRecord {
@@ -116,7 +125,7 @@ impl RingRouter {
         ];
         let mut unvisited = n32;
         for &(v, c) in &occ {
-            visited[v as usize] = true;
+            visited.insert(v as usize);
             visits[v as usize] = u64::from(c);
             last_visit[v as usize].multiplicity = c;
             unvisited -= 1;
@@ -133,7 +142,9 @@ impl RingRouter {
             cover_round,
             visits,
             last_visit,
-            moves: Vec::new(),
+            held: Vec::new(),
+            cw_moves: Vec::new(),
+            acw_moves: Vec::new(),
             next_occ: Vec::new(),
         }
     }
@@ -183,7 +194,7 @@ impl RingRouter {
 
     /// Whether `v` has ever been visited (or initially held an agent).
     pub fn is_visited(&self, v: u32) -> bool {
-        self.visited[v as usize]
+        self.visited.contains(v as usize)
     }
 
     /// Number of never-visited nodes.
@@ -201,7 +212,7 @@ impl RingRouter {
     /// visited.
     pub fn last_visit(&self, v: u32) -> Option<&VisitRecord> {
         let r = &self.last_visit[v as usize];
-        (self.visited[v as usize]).then_some(r)
+        (self.visited.contains(v as usize)).then_some(r)
     }
 
     /// Snapshot of the mutable configuration.
@@ -244,16 +255,27 @@ impl RingRouter {
     /// and staying put does not count as a visit.
     pub fn step_delayed(&mut self, mut delay: impl FnMut(u32, u32) -> u32) {
         self.round += 1;
-        let mut moves = std::mem::take(&mut self.moves);
+        let mut held = std::mem::take(&mut self.held);
+        let mut cw_moves = std::mem::take(&mut self.cw_moves);
+        let mut acw_moves = std::mem::take(&mut self.acw_moves);
         let mut next_occ = std::mem::take(&mut self.next_occ);
-        moves.clear();
+        held.clear();
+        cw_moves.clear();
+        acw_moves.clear();
         next_occ.clear();
+        // Departures. Walking `occ` in ascending node order emits each move
+        // stream already sorted by destination: clockwise destinations
+        // `v+1` are increasing except for one possible wrap from `n−1` to
+        // `0` (necessarily the last element), anticlockwise destinations
+        // `v−1` likewise except for one wrap from `0` to `n−1`
+        // (necessarily the first element). Held agents inherit the sort
+        // order of `occ` directly.
         for i in 0..self.occ.len() {
             let (v, c) = self.occ[i];
-            let held = delay(v, c).min(c);
-            let moving = c - held;
-            if held > 0 {
-                next_occ.push((v, held));
+            let h = delay(v, c).min(c);
+            let moving = c - h;
+            if h > 0 {
+                held.push((v, h));
             }
             if moving == 0 {
                 continue;
@@ -270,61 +292,80 @@ impl RingRouter {
                 (against, with_ptr)
             };
             if cw_cnt > 0 {
-                moves.push((self.cw(v), cw_cnt, CW));
+                cw_moves.push((self.cw(v), cw_cnt));
             }
             if acw_cnt > 0 {
-                moves.push((self.acw(v), acw_cnt, ACW));
+                acw_moves.push((self.acw(v), acw_cnt));
             }
         }
-        // Group arrivals by destination (each dest receives from at most
-        // two directions).
-        moves.sort_unstable_by_key(|&(dest, _, _)| dest);
-        let mut i = 0;
-        while i < moves.len() {
-            let dest = moves[i].0;
-            let mut total = moves[i].1;
-            let first_dir = moves[i].2;
-            let mut j = i + 1;
-            while j < moves.len() && moves[j].0 == dest {
-                total += moves[j].1;
-                j += 1;
-            }
-            i = j;
-            // record the visit
-            let d = dest as usize;
-            self.visits[d] += u64::from(total);
-            let propagation = total == 1 && self.dirs[d] == first_dir;
-            self.last_visit[d] = VisitRecord {
-                round: self.round,
-                multiplicity: total,
-                entry_dir: first_dir,
-                propagation,
+        // Rotate the single possible wrap element home; both streams are
+        // then strictly increasing in destination (sources are distinct and
+        // `v ↦ v±1` is injective on the ring).
+        if cw_moves.len() > 1 && cw_moves[cw_moves.len() - 1].0 == 0 {
+            cw_moves.rotate_right(1);
+        }
+        if acw_moves.len() > 1 && acw_moves[0].0 == self.n - 1 {
+            acw_moves.rotate_left(1);
+        }
+        // O(k) three-way merge of the pre-sorted streams. Each destination
+        // appears at most once per stream, so one comparison round per
+        // output element suffices.
+        let (mut hi, mut ci, mut ai) = (0usize, 0usize, 0usize);
+        loop {
+            let hd = held.get(hi).map(|m| m.0);
+            let cd = cw_moves.get(ci).map(|m| m.0);
+            let ad = acw_moves.get(ai).map(|m| m.0);
+            let Some(dest) = [hd, cd, ad].into_iter().flatten().min() else {
+                break;
             };
-            if !self.visited[d] {
-                self.visited[d] = true;
-                self.unvisited -= 1;
-                if self.unvisited == 0 && self.cover_round.is_none() {
-                    self.cover_round = Some(self.round);
+            let mut stationary = 0u32;
+            let mut arrived = 0u32;
+            let mut from_cw = false;
+            if hd == Some(dest) {
+                stationary = held[hi].1;
+                hi += 1;
+            }
+            if cd == Some(dest) {
+                arrived += cw_moves[ci].1;
+                from_cw = true;
+                ci += 1;
+            }
+            if ad == Some(dest) {
+                arrived += acw_moves[ai].1;
+                ai += 1;
+            }
+            let d = dest as usize;
+            if arrived > 0 {
+                // record the visit (held agents do not revisit)
+                self.visits[d] += u64::from(arrived);
+                let entry_dir = if from_cw { CW } else { ACW };
+                let propagation = arrived == 1 && self.dirs[d] == entry_dir;
+                self.last_visit[d] = VisitRecord {
+                    round: self.round,
+                    multiplicity: arrived,
+                    entry_dir,
+                    propagation,
+                };
+                if self.visited.insert(d) {
+                    self.unvisited -= 1;
+                    if self.unvisited == 0 && self.cover_round.is_none() {
+                        self.cover_round = Some(self.round);
+                    }
                 }
             }
-            next_occ.push((dest, total));
+            next_occ.push((dest, stationary + arrived));
         }
-        // Merge held + arrivals into the sorted occupied list.
-        next_occ.sort_unstable_by_key(|&(v, _)| v);
-        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(next_occ.len());
-        for &(v, c) in &next_occ {
-            if let Some(last) = merged.last_mut() {
-                if last.0 == v {
-                    last.1 += c;
-                    continue;
-                }
-            }
-            merged.push((v, c));
-        }
-        std::mem::swap(&mut self.occ, &mut merged);
+        std::mem::swap(&mut self.occ, &mut next_occ);
+        self.held = held;
+        self.cw_moves = cw_moves;
+        self.acw_moves = acw_moves;
         self.next_occ = next_occ;
-        self.next_occ.clear();
-        self.moves = moves;
+        debug_assert!(self.occ.windows(2).all(|w| w[0].0 < w[1].0), "occ sorted");
+        debug_assert_eq!(
+            u64::from(self.unvisited),
+            self.n as u64 - self.visited.count_ones() as u64,
+            "unvisited counter agrees with popcount"
+        );
         debug_assert_eq!(
             self.occ.iter().map(|&(_, c)| c).sum::<u32>(),
             self.k,
@@ -396,7 +437,11 @@ mod tests {
         dirs[2] = ACW;
         let mut r = RingRouter::new(6, &[1, 2], &dirs);
         r.step();
-        assert_eq!(r.occupied(), &[(1, 1), (2, 1)], "swap keeps both nodes occupied");
+        assert_eq!(
+            r.occupied(),
+            &[(1, 1), (2, 1)],
+            "swap keeps both nodes occupied"
+        );
     }
 
     #[test]
@@ -443,7 +488,10 @@ mod tests {
         let mut r = RingRouter::new(n, &starts, &dirs);
         for _ in 0..2000 {
             r.step();
-            assert!(r.occupied().iter().all(|&(_, c)| c <= 2), "Lemma 5 violated");
+            assert!(
+                r.occupied().iter().all(|&(_, c)| c <= 2),
+                "Lemma 5 violated"
+            );
         }
     }
 

@@ -33,7 +33,9 @@ pub fn ring(n: usize) -> PortGraph {
         return b.build().expect("edge graph is valid");
     }
     let n32 = n as u32;
-    let adj: Vec<Vec<u32>> = (0..n32).map(|v| vec![(v + 1) % n32, (v + n32 - 1) % n32]).collect();
+    let adj: Vec<Vec<u32>> = (0..n32)
+        .map(|v| vec![(v + 1) % n32, (v + n32 - 1) % n32])
+        .collect();
     PortGraph::from_adjacency(adj).expect("ring adjacency is always valid")
 }
 
@@ -139,7 +141,10 @@ pub fn star(n: usize) -> PortGraph {
 ///
 /// Panics if `d == 0` or `d > 20`.
 pub fn hypercube(d: usize) -> PortGraph {
-    assert!(d >= 1 && d <= 20, "hypercube dimension must be in 1..=20");
+    assert!(
+        (1..=20).contains(&d),
+        "hypercube dimension must be in 1..=20"
+    );
     let n = 1usize << d;
     let mut b = PortGraphBuilder::new(n);
     for v in 0..n as u32 {
@@ -211,10 +216,12 @@ pub fn lollipop(clique: usize, tail: usize) -> PortGraph {
 pub fn random_regular(n: usize, d: usize, seed: u64) -> PortGraph {
     assert!(d >= 2, "random regular graph needs degree >= 2");
     assert!(d < n, "degree must be < n");
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     let mut rng = SmallRng::seed_from_u64(seed);
     'attempt: for _ in 0..1000 {
-        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut b = PortGraphBuilder::new(n);
         let mut seen = std::collections::HashSet::new();
@@ -279,15 +286,17 @@ pub fn random_connected(n: usize, p: f64, seed: u64) -> PortGraph {
 pub fn shuffle_ports(g: &PortGraph, seed: u64) -> PortGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = g.node_count();
-    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
     for v in 0..n {
         let node = NodeId::new(v as u32);
         let mut order: Vec<usize> = (0..g.degree(node)).collect();
         order.shuffle(&mut rng);
-        adj[v] = order
-            .iter()
-            .map(|&old_port| g.neighbor(node, old_port).value())
-            .collect();
+        adj.push(
+            order
+                .iter()
+                .map(|&old_port| g.neighbor(node, old_port).value())
+                .collect(),
+        );
     }
     PortGraph::from_adjacency(adj).expect("shuffled adjacency is valid")
 }

@@ -156,15 +156,27 @@ impl std::error::Error for GraphError {}
 /// assert_eq!(g.arc_count(), 6);
 /// # Ok::<(), rotor_graph::GraphError>(())
 /// ```
+/// The adjacency is stored in CSR (compressed sparse row) form: one flat
+/// neighbour arena plus a node-offset table, rather than one `Vec` per
+/// node. Arcs of `G⃗` thus have a global index `arc_index(v, p) =
+/// offset(v) + p`, which per-arc counters in the simulation engines use to
+/// keep their state in a single flat allocation too.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct PortGraph {
-    /// `adj[v][p]` = neighbour of `v` through port `p`.
-    adj: Vec<Vec<u32>>,
-    /// `back[v][p]` = the port of `adj[v][p]` that leads back to `v`.
+    /// CSR offsets: the ports of node `v` occupy `offsets[v] .. offsets[v+1]`
+    /// in the flat arenas. `offsets.len() == n + 1` and
+    /// `offsets[n] == 2|E|`.
+    offsets: Vec<u32>,
+    /// Flat neighbour arena: `adj[offsets[v] + p]` = neighbour of `v`
+    /// through port `p`.
+    adj: Vec<u32>,
+    /// Flat reverse-port arena, aligned with `adj`: the port of the
+    /// neighbour that leads back to `v`.
     ///
-    /// If `u = adj[v][p]` then `adj[u][back[v][p]] == v`. This is the port an
-    /// agent *enters* `u` through when traversing the arc `(v, u)`.
-    back: Vec<Vec<u32>>,
+    /// If `u = adj[offsets[v] + p]` and `q = back[offsets[v] + p]`, then
+    /// `adj[offsets[u] + q] == v`. This is the port an agent *enters* `u`
+    /// through when traversing the arc `(v, u)`.
+    back: Vec<u32>,
     edge_count: usize,
 }
 
@@ -172,7 +184,7 @@ impl PortGraph {
     /// Number of nodes `n = |V|`.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges `m = |E|`.
@@ -194,7 +206,30 @@ impl PortGraph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// The global CSR index of the arc leaving `v` through port 0; the arc
+    /// through port `p` has index `arc_offset(v) + p`. Arc indices cover
+    /// `0..arc_count()` without gaps, in `(node, port)` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn arc_offset(&self, v: NodeId) -> usize {
+        self.offsets[v.index()] as usize
+    }
+
+    /// The neighbours of `v` in port order, as a contiguous slice of raw
+    /// node indices (the hot-path form of [`neighbors`](Self::neighbors)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[u32] {
+        &self.adj[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
     /// The node reached from `v` through port `p`.
@@ -204,7 +239,7 @@ impl PortGraph {
     /// Panics if `v` or `p` is out of range.
     #[inline]
     pub fn neighbor(&self, v: NodeId, p: usize) -> NodeId {
-        NodeId(self.adj[v.index()][p])
+        NodeId(self.neighbor_slice(v)[p])
     }
 
     /// The port of `neighbor(v, p)` through which the arc from `v` arrives,
@@ -215,19 +250,20 @@ impl PortGraph {
     /// Panics if `v` or `p` is out of range.
     #[inline]
     pub fn entry_port(&self, v: NodeId, p: usize) -> usize {
-        self.back[v.index()][p] as usize
+        let range = self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize;
+        self.back[range][p] as usize
     }
 
     /// The port of `v` that leads to `u`, if `{v, u}` is an edge.
     ///
     /// This is `port_v(u)` in the paper's notation. Linear in `deg(v)`.
     pub fn port_to(&self, v: NodeId, u: NodeId) -> Option<usize> {
-        self.adj[v.index()].iter().position(|&w| w == u.value())
+        self.neighbor_slice(v).iter().position(|&w| w == u.value())
     }
 
     /// Iterates over the neighbours of `v` in port order.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj[v.index()].iter().map(|&u| NodeId(u))
+        self.neighbor_slice(v).iter().map(|&u| NodeId(u))
     }
 
     /// Iterates over all node identifiers `0..n`.
@@ -238,9 +274,8 @@ impl PortGraph {
     /// Iterates over all arcs `(v, u)` of the directed symmetric version, in
     /// `(node, port)` order.
     pub fn arcs(&self) -> impl Iterator<Item = Arc> + '_ {
-        self.nodes().flat_map(move |v| {
-            (0..self.degree(v)).map(move |p| Arc::new(v, self.neighbor(v, p)))
-        })
+        self.nodes()
+            .flat_map(move |v| (0..self.degree(v)).map(move |p| Arc::new(v, self.neighbor(v, p))))
     }
 
     /// Whether `{v, u}` is an edge of the graph.
@@ -250,7 +285,11 @@ impl PortGraph {
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether every node has the same degree.
@@ -259,12 +298,21 @@ impl PortGraph {
         self.nodes().all(|v| self.degree(v) == d)
     }
 
-    /// Assembles a graph from pre-validated parts (crate-internal; used by
-    /// [`crate::builders`]).
+    /// Assembles a graph from pre-validated per-node lists, flattening them
+    /// into the CSR arenas (crate-internal; used by [`crate::builders`]).
     pub(crate) fn from_parts(adj: Vec<Vec<u32>>, back: Vec<Vec<u32>>, edge_count: usize) -> Self {
+        debug_assert_eq!(adj.len(), back.len());
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for l in &adj {
+            total += l.len() as u32;
+            offsets.push(total);
+        }
         PortGraph {
-            adj,
-            back,
+            offsets,
+            adj: adj.into_iter().flatten().collect(),
+            back: back.into_iter().flatten().collect(),
             edge_count,
         }
     }
@@ -368,11 +416,7 @@ impl PortGraphBuilder {
         if self.n == 0 {
             return Err(GraphError::Empty);
         }
-        let g = PortGraph {
-            adj: self.adj,
-            back: self.back,
-            edge_count: self.edge_count,
-        };
+        let g = PortGraph::from_parts(self.adj, self.back, self.edge_count);
         if !crate::algo::is_connected(&g) {
             return Err(GraphError::Disconnected);
         }
@@ -394,11 +438,7 @@ impl PortGraphBuilder {
         if self.n == 0 {
             return Err(GraphError::Empty);
         }
-        Ok(PortGraph {
-            adj: self.adj,
-            back: self.back,
-            edge_count: self.edge_count,
-        })
+        Ok(PortGraph::from_parts(self.adj, self.back, self.edge_count))
     }
 }
 
@@ -456,6 +496,30 @@ mod tests {
                 assert_eq!(g.neighbor(u, q), v, "back port round-trip failed");
             }
         }
+    }
+
+    #[test]
+    fn csr_layout_is_contiguous_and_consistent() {
+        let g = triangle();
+        assert_eq!(g.arc_offset(NodeId::new(0)), 0);
+        let mut expected = 0;
+        for v in g.nodes() {
+            assert_eq!(g.arc_offset(v), expected, "offsets contiguous");
+            let slice = g.neighbor_slice(v);
+            assert_eq!(slice.len(), g.degree(v));
+            for (p, &u) in slice.iter().enumerate() {
+                assert_eq!(g.neighbor(v, p), NodeId::new(u));
+            }
+            expected += g.degree(v);
+        }
+        assert_eq!(expected, g.arc_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn neighbor_out_of_range_port_panics() {
+        let g = triangle();
+        g.neighbor(NodeId::new(0), 2);
     }
 
     #[test]

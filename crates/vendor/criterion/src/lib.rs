@@ -1,0 +1,309 @@
+//! Vendored minimal stand-in for the subset of the `criterion` 0.5 API used
+//! by this workspace.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` crate cannot be fetched. This shim keeps the benchmark
+//! sources written against the standard criterion surface —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`] — so switching to the real crate is a
+//! one-line change in the root manifest.
+//!
+//! Measurement model: per benchmark, one warm-up iteration plus a short
+//! warm-up window, then timed iterations until both a minimum sample count
+//! and a measurement-time budget are met. Mean and median per-iteration
+//! times (and throughput, when configured) are printed to stdout.
+//!
+//! Supported CLI flags (the rest are accepted and ignored so that
+//! `cargo bench`'s harness arguments never break the run):
+//!
+//! * `--test` — run every benchmark body exactly once without timing, as
+//!   `cargo bench -- --test` does with real criterion; used by CI to smoke
+//!   bench code cheaply.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How a benchmark's work scales, for reporting derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many abstract elements per iteration
+    /// (for this workspace: rotor-router rounds).
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a single benchmark: a function name plus an optional
+/// parameter rendering (`"grid/64x64"`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    min_samples: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each call.
+    ///
+    /// In `--test` mode `f` runs exactly once, untimed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: at least one iteration, at most ~100 ms.
+        let warm_deadline = Instant::now() + Duration::from_millis(100);
+        loop {
+            black_box(f());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            let dur = start.elapsed();
+            total += dur;
+            self.samples.push(dur);
+            let n = self.samples.len();
+            if n >= self.min_samples && total >= self.measurement_time {
+                break;
+            }
+            // Slow benchmarks: do not insist on the full sample count once
+            // several multiples of the budget have been spent.
+            if n >= 3 && total >= 5 * self.measurement_time {
+                break;
+            }
+            if n >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<40} ok (test mode)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean_ns = samples.iter().map(Duration::as_nanos).sum::<u128>() / samples.len() as u128;
+    let mean = Duration::from_nanos(mean_ns as u64);
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 / mean.as_secs_f64();
+        match t {
+            Throughput::Elements(e) => format!("{:.3e} elem/s", per_sec(e)),
+            Throughput::Bytes(b) => format!("{:.3e} B/s", per_sec(b)),
+        }
+    });
+    println!(
+        "{id:<40} median {:>12}   mean {:>12}   ({} samples{})",
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len(),
+        rate.map(|r| format!(", {r}")).unwrap_or_default(),
+    );
+}
+
+/// Top-level benchmark context, normally created by [`criterion_group!`].
+pub struct Criterion {
+    test_mode: bool,
+    measurement_time: Duration,
+    min_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            measurement_time: Duration::from_millis(500),
+            min_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies harness CLI arguments (`--test`; everything else ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Whether the harness is in `--test` smoke mode (shim extension; the
+    /// real criterion does not expose this, so only use it to scale
+    /// workloads down, never for logic the benchmark depends on).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            measurement_time: self.measurement_time,
+            min_samples: self.min_samples,
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    measurement_time: Duration,
+    min_samples: usize,
+    throughput: Option<Throughput>,
+    // Tie the group's lifetime to the parent, matching the real API.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive per-second rates for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the measurement-time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Overrides the minimum sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.min_samples = n.max(1);
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.id
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            measurement_time: self.measurement_time,
+            min_samples: self.min_samples,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&full, &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Times `f` under `id`, passing `input` through — sugar matching the
+    /// real criterion API.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting is per-benchmark in this shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,237 @@
+//! Vendored minimal stand-in for the subset of the `rand` 0.8 API used by
+//! this workspace.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` crate cannot be fetched. This shim provides source-compatible
+//! replacements for exactly what the workspace uses:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, seedable PRNG (xoshiro256++, the
+//!   same family the real `SmallRng` uses on 64-bit targets), seeded from a
+//!   `u64` via SplitMix64 exactly like `SeedableRng::seed_from_u64`;
+//! * [`Rng::gen_range`] over half-open integer ranges (bias-free via
+//!   rejection sampling) and [`Rng::gen_bool`];
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! The *stream of values* is not guaranteed to match the real crate —
+//! callers only rely on determinism per seed, which this shim provides.
+//! Swapping the workspace back to the real `rand` is a one-line change in
+//! the root manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Low-level source of random `u64`s (the shim's analogue of `RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from the half-open range `[range.start, range.end)`.
+    ///
+    /// Rejection sampling keeps the draw exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // 53 random bits -> uniform in [0, 1)
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[range.start, range.end)`.
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Largest multiple of `span` that fits in u64, minus one:
+                // values above it would bias the modulo, so reject them.
+                let zone = u64::MAX - (u64::MAX % span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return range.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Ready-made RNGs (the shim only provides [`SmallRng`](rngs::SmallRng)).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong; the same
+    /// generator family the real `rand::rngs::SmallRng` uses on 64-bit
+    /// platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as specified by the xoshiro authors for
+            // seeding from a single word.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (the shim only provides `shuffle`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle using `rng`.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u32> = (0..32).map(|_| a.gen_range(0..1000u32)).collect();
+        let ys: Vec<u32> = (0..32).map(|_| b.gen_range(0..1000u32)).collect();
+        let zs: Vec<u32> = (0..32).map(|_| c.gen_range(0..1000u32)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+        }
+        // tiny span exercises the rejection zone arithmetic
+        for _ in 0..100 {
+            let v = rng.gen_range(0..2u8);
+            assert!(v < 2);
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

@@ -1,1 +1,126 @@
-pub fn placeholder() {}
+//! # rotor-walks
+//!
+//! Parallel random-walk baselines for comparison against the rotor-router.
+//!
+//! The paper positions the multi-agent rotor-router as "a deterministic
+//! alternative to parallel random walks"; quantitative comparisons (cover
+//! time distributions, speed-up curves à la Alon et al.) need a `k`
+//! independent-walkers baseline on the same [`rotor_graph::PortGraph`]s.
+//! This crate currently provides the seeded single-step walker primitive;
+//! the full parallel sweep driver is an open ROADMAP item that the
+//! workspace build-out of this PR unblocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rotor_graph::{NodeId, PortGraph};
+
+/// `k` independent simple random walkers advancing synchronously.
+#[derive(Clone, Debug)]
+pub struct ParallelWalk {
+    positions: Vec<NodeId>,
+    rng: SmallRng,
+    round: u64,
+}
+
+impl ParallelWalk {
+    /// Creates walkers at `starts`, with a seeded (reproducible) RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `starts` is empty.
+    pub fn new(starts: &[NodeId], seed: u64) -> Self {
+        assert!(!starts.is_empty(), "need at least one walker");
+        ParallelWalk {
+            positions: starts.to_vec(),
+            rng: SmallRng::seed_from_u64(seed),
+            round: 0,
+        }
+    }
+
+    /// Current walker positions (multiset).
+    pub fn positions(&self) -> &[NodeId] {
+        &self.positions
+    }
+
+    /// Completed rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Advances one synchronous round: every walker moves to a uniformly
+    /// random neighbour.
+    pub fn step(&mut self, g: &PortGraph) {
+        self.round += 1;
+        for p in &mut self.positions {
+            let d = g.degree(*p);
+            *p = g.neighbor(*p, self.rng.gen_range(0..d));
+        }
+    }
+
+    /// Rounds until every node of `g` has been visited, or `None` after
+    /// `max_rounds`.
+    pub fn cover_time(&mut self, g: &PortGraph, max_rounds: u64) -> Option<u64> {
+        let mut visited = vec![false; g.node_count()];
+        let mut remaining = g.node_count();
+        for &p in &self.positions {
+            if !visited[p.index()] {
+                visited[p.index()] = true;
+                remaining -= 1;
+            }
+        }
+        while remaining > 0 {
+            if self.round >= max_rounds {
+                return None;
+            }
+            self.step(g);
+            for &p in &self.positions {
+                if !visited[p.index()] {
+                    visited[p.index()] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        Some(self.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotor_graph::builders;
+
+    #[test]
+    fn walkers_stay_on_graph_and_reproduce() {
+        let g = builders::ring(12);
+        let starts = vec![NodeId::new(0), NodeId::new(6)];
+        let mut a = ParallelWalk::new(&starts, 7);
+        let mut b = ParallelWalk::new(&starts, 7);
+        for _ in 0..100 {
+            a.step(&g);
+            b.step(&g);
+            assert_eq!(a.positions(), b.positions());
+            for p in a.positions() {
+                assert!(p.index() < 12);
+            }
+        }
+    }
+
+    #[test]
+    fn covers_small_ring() {
+        let g = builders::ring(16);
+        let mut w = ParallelWalk::new(&[NodeId::new(0)], 3);
+        let c = w.cover_time(&g, 1_000_000).expect("random walk covers");
+        assert!(c >= 15, "cannot cover 16 nodes in fewer than 15 steps");
+    }
+
+    #[test]
+    fn cover_time_counts_initial_positions() {
+        let g = builders::ring(3);
+        let starts = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        let mut w = ParallelWalk::new(&starts, 1);
+        assert_eq!(w.cover_time(&g, 10), Some(0));
+    }
+}

@@ -1,1 +1,34 @@
+//! # rotor
+//!
+//! Facade crate for the multi-agent rotor-router workspace reproducing
+//! Klasing, Kosowski, Pająk and Sauerwald (*The multi-agent rotor-router on
+//! the ring: a deterministic alternative to parallel random walks*, PODC
+//! 2013 / Distributed Computing 2017).
+//!
+//! Re-exports the member crates under one roof:
+//!
+//! * [`rotor_graph`] — port-labelled graphs, builders, BFS/diameter, Euler
+//!   circuits;
+//! * [`rotor_core`] — the general-graph [`rotor_core::Engine`] and the
+//!   ring-specialised [`rotor_core::RingRouter`], plus pointer
+//!   initialisations, placements, delays, domains, limit behaviour and
+//!   lock-in certification;
+//! * [`rotor_walks`] — random-walk baselines (in progress);
+//! * [`rotor_analysis`] — sweep statistics (in progress).
+//!
+//! ```
+//! use rotor::rotor_core::{init::PointerInit, placement::Placement, RingRouter};
+//!
+//! let n = 64;
+//! let starts = Placement::AllOnOne(0).positions(n, 4);
+//! let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+//! let mut r = RingRouter::new(n, &starts, &dirs);
+//! assert!(r.run_until_covered(1_000_000).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use rotor_analysis;
+pub use rotor_core;
 pub use rotor_graph;
+pub use rotor_walks;
