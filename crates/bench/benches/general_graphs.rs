@@ -2,13 +2,18 @@
 //! bound (Yanovski et al., §1.2) — the sanity anchor for everything the
 //! engine reports off the ring.
 //!
+//! The (graph, k) cells fan across the sharded sweep driver; each cell
+//! builds its `Engine` against a shared borrowed graph, so the drive-side
+//! code is identical in shape to the ring sweeps.
+//!
 //! Writes `BENCH_general_graphs.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rotor_bench::report::{write_summary, Json};
 use rotor_core::init::PointerInit;
-use rotor_core::Engine;
+use rotor_core::{CoverProcess, Engine};
 use rotor_graph::{algo, builders, NodeId, PortGraph};
+use rotor_sweep::{run_sharded, thread_count};
 
 fn workloads(test_mode: bool) -> Vec<(&'static str, PortGraph)> {
     if test_mode {
@@ -27,23 +32,34 @@ fn workloads(test_mode: bool) -> Vec<(&'static str, PortGraph)> {
 }
 
 fn bench(c: &mut Criterion) {
+    let loads = workloads(c.is_test_mode());
+    let bounds: Vec<u64> = loads
+        .iter()
+        .map(|(_, g)| 2 * u64::from(algo::diameter(g)) * g.edge_count() as u64)
+        .collect();
+    // One cell per (workload, k); the graphs stay shared behind the
+    // closure, only indices travel through the driver.
+    let cells: Vec<(usize, u32)> = (0..loads.len())
+        .flat_map(|i| [1u32, 4].into_iter().map(move |k| (i, k)))
+        .collect();
+    let threads = thread_count();
+    let covers = run_sharded(&cells, threads, |_, &(i, k)| {
+        let g = &loads[i].1;
+        let agents: Vec<NodeId> = vec![NodeId::new(0); k as usize];
+        let mut e = Engine::new(g, &agents, &PointerInit::TowardNearestAgent);
+        e.run_until_covered(4 * bounds[i])
+            .expect("cover within the lock-in regime")
+    });
+
     let mut rows = Vec::new();
-    for (name, g) in workloads(c.is_test_mode()) {
-        let bound = 2 * u64::from(algo::diameter(&g)) * g.edge_count() as u64;
-        for k in [1u32, 4] {
-            let agents: Vec<NodeId> = vec![NodeId::new(0); k as usize];
-            let mut e = Engine::new(&g, &agents, &PointerInit::TowardNearestAgent);
-            let cover = e
-                .run_until_covered(4 * bound)
-                .expect("cover within the lock-in regime");
-            rows.push(Json::obj([
-                ("graph", Json::Str(name.into())),
-                ("k", Json::Int(u64::from(k))),
-                ("cover", Json::Int(cover)),
-                ("bound_2_d_e", Json::Int(bound)),
-                ("ratio", Json::Num(cover as f64 / bound as f64)),
-            ]));
-        }
+    for (&(i, k), &cover) in cells.iter().zip(&covers) {
+        rows.push(Json::obj([
+            ("graph", Json::Str(loads[i].0.into())),
+            ("k", Json::Int(u64::from(k))),
+            ("cover", Json::Int(cover)),
+            ("bound_2_d_e", Json::Int(bounds[i])),
+            ("ratio", Json::Num(cover as f64 / bounds[i] as f64)),
+        ]));
     }
     if c.is_test_mode() {
         println!("test mode: BENCH_general_graphs.json left untouched");
@@ -52,6 +68,7 @@ fn bench(c: &mut Criterion) {
             "general_graphs",
             &Json::obj([
                 ("bench", Json::Str("general_graphs".into())),
+                ("threads", Json::Int(threads as u64)),
                 ("rows", Json::Arr(rows)),
             ]),
         );
@@ -64,7 +81,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let agents = vec![NodeId::new(0); 4];
             let mut e = Engine::new(&g, &agents, &PointerInit::TowardNearestAgent);
-            e.run_until_covered(u64::MAX)
+            CoverProcess::run_until_covered(&mut e, u64::MAX)
         });
     });
     group.finish();

@@ -2,13 +2,19 @@
 //! the configuration sequence, reporting the transient tail `μ` and limit
 //! period `λ` per configuration.
 //!
+//! The (n, k) cells are independent, so they fan across the sharded sweep
+//! driver like every other experiment — the cell payload here is a Brent
+//! cycle search rather than a cover run, which is exactly the "per-cell
+//! cover/return samples" split the driver is generic over.
+//!
 //! Writes `BENCH_return_time.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rotor_bench::report::{write_summary, Json};
 use rotor_core::init::PointerInit;
-use rotor_core::limit;
+use rotor_core::limit::{self, CycleInfo};
 use rotor_core::placement::Placement;
+use rotor_sweep::{run_sharded, thread_count};
 
 const MAX_STEPS: u64 = 10_000_000;
 
@@ -21,12 +27,19 @@ fn configs(test_mode: bool) -> Vec<(usize, usize)> {
     }
 }
 
+fn cycle_cell(n: usize, k: usize) -> Option<CycleInfo> {
+    let starts = Placement::AllOnOne(0).positions(n, k);
+    let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+    limit::ring_cycle(n, &starts, &dirs, MAX_STEPS)
+}
+
 fn bench(c: &mut Criterion) {
+    let cells = configs(c.is_test_mode());
+    let threads = thread_count();
+    let infos = run_sharded(&cells, threads, |_, &(n, k)| cycle_cell(n, k));
+
     let mut rows = Vec::new();
-    for (n, k) in configs(c.is_test_mode()) {
-        let starts = Placement::AllOnOne(0).positions(n, k);
-        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
-        let info = limit::ring_cycle(n, &starts, &dirs, MAX_STEPS);
+    for (&(n, k), info) in cells.iter().zip(&infos) {
         rows.push(Json::obj([
             ("n", Json::Int(n as u64)),
             ("k", Json::Int(k as u64)),
@@ -49,6 +62,7 @@ fn bench(c: &mut Criterion) {
             &Json::obj([
                 ("bench", Json::Str("return_time".into())),
                 ("max_steps", Json::Int(MAX_STEPS)),
+                ("threads", Json::Int(threads as u64)),
                 ("rows", Json::Arr(rows)),
             ]),
         );
@@ -57,10 +71,8 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("return_time");
     let (n, k) = (64usize, 2usize);
-    let starts = Placement::AllOnOne(0).positions(n, k);
-    let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
     group.bench_function(BenchmarkId::new("brent_ring", format!("n{n}_k{k}")), |b| {
-        b.iter(|| limit::ring_cycle(n, &starts, &dirs, MAX_STEPS));
+        b.iter(|| cycle_cell(n, k));
     });
     group.finish();
 }

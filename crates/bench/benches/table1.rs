@@ -5,24 +5,43 @@
 //! 3–4, between `Θ(n²/k²)` and `Θ(n²/k)`), plus the median over random
 //! placements.
 //!
+//! All three columns run through the sharded sweep driver (`rotor-sweep`),
+//! one `SweepGrid` per column; thread count comes from
+//! `ROTOR_SWEEP_THREADS` (default: available parallelism).
+//!
 //! Writes `BENCH_table1.json` with cover-time medians and ring rounds/sec
 //! per `k`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rotor_bench::report::{write_summary, Json};
-use rotor_core::init::PointerInit;
-use rotor_core::placement::Placement;
-use rotor_core::RingRouter;
-use std::time::Instant;
+use rotor_sweep::{
+    run_cover_cell, run_sharded, thread_count, InitSpec, PlacementSpec, ProcessKind, SweepGrid,
+};
 
-const RANDOM_SEEDS: u64 = 5;
+const RANDOM_SEEDS: usize = 5;
 
-fn cover_time(n: usize, placement: &Placement, init: &PointerInit, k: usize) -> u64 {
-    let starts = placement.positions(n, k);
-    let dirs = init.ring_directions(n, &starts);
-    let mut r = RingRouter::new(n, &starts, &dirs);
-    r.run_until_covered(u64::MAX)
-        .expect("rotor-router always covers")
+/// One sweep column: a grid over the shared `ks` under one
+/// placement/init, measured with the ring rotor engine.
+fn column(
+    n: usize,
+    ks: &[usize],
+    seed_count: usize,
+    placement: PlacementSpec,
+    init: InitSpec,
+    threads: usize,
+) -> Vec<rotor_sweep::CoverSample> {
+    let grid = SweepGrid {
+        ns: vec![n],
+        ks: ks.to_vec(),
+        seed_count,
+        base_seed: 0x7AB1E1,
+        placement,
+        init,
+    };
+    let cells = grid.cells();
+    run_sharded(&cells, threads, |_, c| {
+        run_cover_cell(c, ProcessKind::RotorRing, u64::MAX)
+    })
 }
 
 fn bench(c: &mut Criterion) {
@@ -31,34 +50,49 @@ fn bench(c: &mut Criterion) {
         .map(|i| 1usize << i)
         .take_while(|&k| k <= n / 16)
         .collect();
+    let threads = thread_count();
+
+    let worst = column(
+        n,
+        &ks,
+        1,
+        PlacementSpec::AllOnOne,
+        InitSpec::TowardNearestAgent,
+        threads,
+    );
+    let best = column(
+        n,
+        &ks,
+        1,
+        PlacementSpec::EquallySpaced,
+        InitSpec::TowardNearestAgent,
+        threads,
+    );
+    let random = column(
+        n,
+        &ks,
+        RANDOM_SEEDS,
+        PlacementSpec::Random,
+        InitSpec::Random,
+        threads,
+    );
 
     let mut rows = Vec::new();
-    for &k in &ks {
-        // Worst case is deterministic; time it to get ring rounds/sec too.
-        let start = Instant::now();
-        let worst = cover_time(
-            n,
-            &Placement::AllOnOne(0),
-            &PointerInit::TowardNearestAgent,
-            k,
-        );
-        let rps = worst as f64 / start.elapsed().as_secs_f64();
-        let best = cover_time(
-            n,
-            &Placement::EquallySpaced { offset: 0 },
-            &PointerInit::TowardNearestAgent,
-            k,
-        );
-        let random_covers: Vec<u64> = (0..RANDOM_SEEDS)
-            .map(|s| cover_time(n, &Placement::Random(s), &PointerInit::Random(s ^ 0xA5), k))
+    for (i, &k) in ks.iter().enumerate() {
+        let w = &worst[i];
+        let b = &best[i];
+        let mut random_covers: Vec<u64> = random[i * RANDOM_SEEDS..(i + 1) * RANDOM_SEEDS]
+            .iter()
+            .map(|s| s.cover.expect("rotor-router always covers"))
             .collect();
-        let random_median = rotor_analysis::median(&random_covers).expect("non-empty seed range");
+        let random_median =
+            rotor_analysis::median(&mut random_covers).expect("non-empty seed range");
         rows.push(Json::obj([
             ("k", Json::Int(k as u64)),
-            ("worst_cover", Json::Int(worst)),
-            ("best_cover", Json::Int(best)),
+            ("worst_cover", Json::Int(w.cover.expect("covers"))),
+            ("best_cover", Json::Int(b.cover.expect("covers"))),
             ("random_median_cover", Json::Int(random_median)),
-            ("rounds_per_sec_worst", Json::Num(rps)),
+            ("rounds_per_sec_worst", Json::Num(w.rounds_per_sec())),
         ]));
     }
     if c.is_test_mode() {
@@ -69,26 +103,31 @@ fn bench(c: &mut Criterion) {
             &Json::obj([
                 ("bench", Json::Str("table1".into())),
                 ("n", Json::Int(n as u64)),
-                ("random_seeds", Json::Int(RANDOM_SEEDS)),
+                ("random_seeds", Json::Int(RANDOM_SEEDS as u64)),
+                ("threads", Json::Int(threads as u64)),
                 ("rows", Json::Arr(rows)),
             ]),
         );
         println!("wrote {}", path.display());
     }
 
-    // Interactive timing of the worst-case sweep end-points.
+    // Interactive timing of the worst-case sweep end-points. Time the
+    // bare cell run, not the driver: grid construction and thread
+    // spawn/join would otherwise pollute every sample.
     let mut group = c.benchmark_group("table1");
     for &k in &[ks[0], *ks.last().expect("non-empty k range")] {
+        let cell_grid = SweepGrid {
+            ns: vec![n],
+            ks: vec![k],
+            seed_count: 1,
+            base_seed: 0x7AB1E1,
+            placement: PlacementSpec::AllOnOne,
+            init: InitSpec::TowardNearestAgent,
+        };
+        let cell = cell_grid.cells()[0];
         group.throughput(Throughput::Elements(1));
         group.bench_function(BenchmarkId::new("worst_cover", format!("n{n}_k{k}")), |b| {
-            b.iter(|| {
-                cover_time(
-                    n,
-                    &Placement::AllOnOne(0),
-                    &PointerInit::TowardNearestAgent,
-                    k,
-                )
-            });
+            b.iter(|| run_cover_cell(&cell, ProcessKind::RotorRing, u64::MAX));
         });
     }
     group.finish();

@@ -359,6 +359,28 @@ impl<'g> Engine<'g> {
     }
 }
 
+impl crate::CoverProcess for Engine<'_> {
+    fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+
+    fn round(&self) -> u64 {
+        Engine::round(self)
+    }
+
+    fn step(&mut self) {
+        Engine::step(self);
+    }
+
+    fn cover_round(&self) -> Option<u64> {
+        Engine::cover_round(self)
+    }
+
+    fn visited_count(&self) -> usize {
+        self.g.node_count() - self.unvisited
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,9 @@
 //!   the *return time* of the limit behaviour (§4, Theorem 6).
 //! * [`lockin`] — single-agent Eulerian lock-in certification (the
 //!   Yanovski et al. baseline behaviour).
+//! * [`CoverProcess`] — the common trait over synchronous exploration
+//!   processes (both engines here plus the random-walk baseline of
+//!   `rotor-walks`) that the `rotor-sweep` sharded driver is generic over.
 //!
 //! ## Quick example
 //!
@@ -65,9 +68,11 @@ pub mod init;
 pub mod limit;
 pub mod lockin;
 pub mod placement;
+mod process;
 mod ring;
 
 pub use engine::{Engine, EngineState};
+pub use process::CoverProcess;
 pub use ring::{RingRouter, RingState, VisitRecord};
 
 pub use rotor_graph::{NodeId, PortGraph};

@@ -1,0 +1,118 @@
+//! The [`CoverProcess`] abstraction over synchronous exploration processes.
+//!
+//! The paper's headline comparison — the multi-agent rotor-router as "a
+//! deterministic alternative to parallel random walks" — only becomes
+//! measurable when both processes run through the *same* sweep machinery.
+//! Everything a cover-time sweep needs from a process is the same four
+//! questions: advance one synchronous round, how many rounds have elapsed,
+//! has every node been visited (and when did that first happen), and how
+//! many nodes have been visited so far. `CoverProcess` captures exactly
+//! that surface, so the sharded sweep driver in `rotor-sweep` can fan
+//! (n, k, seed) cells across threads without caring whether a cell is
+//! backed by the general-graph [`Engine`](crate::Engine), the
+//! ring-specialised [`RingRouter`](crate::RingRouter), or the `k`
+//! independent random walkers of `rotor-walks`.
+
+/// A synchronous process on a finite node set that eventually visits every
+/// node.
+///
+/// Implementors: [`Engine`](crate::Engine), [`RingRouter`](crate::RingRouter)
+/// (both deterministic rotor-routers) and `rotor_walks::ParallelWalk`
+/// (`k` independent seeded random walkers).
+///
+/// ```
+/// use rotor_core::{init::PointerInit, placement::Placement, CoverProcess, RingRouter};
+///
+/// fn cover<P: CoverProcess>(p: &mut P) -> Option<u64> {
+///     p.run_until_covered(1_000_000)
+/// }
+///
+/// let starts = Placement::AllOnOne(0).positions(64, 4);
+/// let dirs = PointerInit::TowardNearestAgent.ring_directions(64, &starts);
+/// let mut r = RingRouter::new(64, &starts, &dirs);
+/// assert!(cover(&mut r).is_some());
+/// ```
+pub trait CoverProcess {
+    /// Number of nodes in the underlying graph.
+    fn node_count(&self) -> usize;
+
+    /// Completed synchronous rounds.
+    fn round(&self) -> u64;
+
+    /// Advances one synchronous round: every agent/walker moves.
+    fn step(&mut self);
+
+    /// The round at which the last node was first visited, if covering has
+    /// happened (`Some(0)` if the initial placement already covers).
+    fn cover_round(&self) -> Option<u64>;
+
+    /// Number of nodes visited at least once (initial placements count).
+    fn visited_count(&self) -> usize;
+
+    /// Runs until every node has been visited, or gives up after
+    /// `max_rounds` total rounds. Returns the cover round, or `None` on
+    /// timeout.
+    fn run_until_covered(&mut self, max_rounds: u64) -> Option<u64> {
+        while self.cover_round().is_none() && self.round() < max_rounds {
+            self.step();
+        }
+        self.cover_round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::PointerInit;
+    use crate::placement::Placement;
+    use crate::{Engine, RingRouter};
+    use rotor_graph::builders;
+
+    /// Generic sweep body: the exact shape the sweep driver uses.
+    fn cover_generic<P: CoverProcess + ?Sized>(p: &mut P, max: u64) -> (Option<u64>, usize) {
+        let c = p.run_until_covered(max);
+        (c, p.visited_count())
+    }
+
+    #[test]
+    fn ring_router_through_trait_object() {
+        let n = 64;
+        let starts = Placement::AllOnOne(0).positions(n, 4);
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+        let mut r = RingRouter::new(n, &starts, &dirs);
+        let direct = r.clone().run_until_covered(u64::MAX).unwrap();
+        let boxed: &mut dyn CoverProcess = &mut r;
+        let (c, visited) = cover_generic(boxed, u64::MAX);
+        assert_eq!(c, Some(direct), "trait dispatch matches inherent method");
+        assert_eq!(visited, n);
+        assert_eq!(boxed.node_count(), n);
+    }
+
+    #[test]
+    fn engine_through_trait_matches_ring_router() {
+        use rotor_graph::NodeId;
+        let n = 32;
+        let g = builders::ring(n);
+        let starts = Placement::EquallySpaced { offset: 0 }.positions(n, 4);
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+        let ids: Vec<NodeId> = starts.iter().map(|&s| NodeId::new(s)).collect();
+        let ptrs: Vec<u32> = dirs.iter().map(|&d| u32::from(d)).collect();
+        let mut e = Engine::with_pointers(&g, &ids, ptrs);
+        let mut r = RingRouter::new(n, &starts, &dirs);
+        let ce = cover_generic(&mut e, u64::MAX);
+        let cr = cover_generic(&mut r, u64::MAX);
+        assert_eq!(ce, cr, "both engines agree through the trait");
+    }
+
+    #[test]
+    fn run_until_covered_honours_timeout() {
+        let n = 128;
+        let starts = [0u32];
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+        let mut r = RingRouter::new(n, &starts, &dirs);
+        let p: &mut dyn CoverProcess = &mut r;
+        assert_eq!(p.run_until_covered(5), None);
+        assert_eq!(p.round(), 5, "stops exactly at the budget");
+        assert!(p.visited_count() < n);
+    }
+}

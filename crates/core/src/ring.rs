@@ -16,6 +16,14 @@
 //! per-round sort at all. This matters for the `Θ(n²/log k)` worst-case
 //! cover sweeps of experiment E1, which run millions of rounds.
 //!
+//! The occupied list and the three per-round streams are stored
+//! structure-of-arrays (split `nodes: Vec<u32>` / `counts: Vec<u32>`): the
+//! merge's head comparisons only touch the node arrays, so twice as many
+//! stream heads fit per cache line as with `(node, count)` tuples, and the
+//! merge itself is branchless — each stream carries a `u32::MAX` sentinel,
+//! the winning destination is a three-way `min`, and every stream advances
+//! by the boolean `head == dest` with counts masked in by the same flag.
+//!
 //! For the domain analysis of §2.2 it records, per node, the last visit's
 //! round, multiplicity, entry direction, and whether it was a
 //! *propagation* (the agent continues through) or a *reflection* (the agent
@@ -69,8 +77,10 @@ pub struct RingRouter {
     n: u32,
     k: u32,
     dirs: Vec<u8>,
-    /// Sorted `(node, count)` with `count > 0`.
-    occ: Vec<(u32, u32)>,
+    /// Occupied nodes, sorted ascending (SoA: node half).
+    occ_nodes: Vec<u32>,
+    /// Agent count per occupied node, `> 0`, parallel to `occ_nodes`.
+    occ_counts: Vec<u32>,
     round: u64,
     visited: VisitSet,
     unvisited: u32,
@@ -79,11 +89,41 @@ pub struct RingRouter {
     last_visit: Vec<VisitRecord>,
     /// Scratch buffers reused between rounds: the three pre-sorted move
     /// streams of a round (held agents, clockwise arrivals, anticlockwise
-    /// arrivals) and the merge output.
-    held: Vec<(u32, u32)>,
-    cw_moves: Vec<(u32, u32)>,
-    acw_moves: Vec<(u32, u32)>,
-    next_occ: Vec<(u32, u32)>,
+    /// arrivals) and the merge output, each split nodes/counts.
+    held: SoaStream,
+    cw_moves: SoaStream,
+    acw_moves: SoaStream,
+    next_occ: SoaStream,
+}
+
+/// One pre-sorted per-round move stream in structure-of-arrays form.
+#[derive(Clone, Debug, Default)]
+struct SoaStream {
+    nodes: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+impl SoaStream {
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.counts.clear();
+    }
+
+    #[inline]
+    fn push(&mut self, node: u32, count: u32) {
+        self.nodes.push(node);
+        self.counts.push(count);
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Appends the `u32::MAX` stream-exhausted sentinel so the merge can
+    /// index heads unconditionally.
+    fn seal(&mut self) {
+        self.push(u32::MAX, 0);
+    }
 }
 
 impl RingRouter {
@@ -105,13 +145,15 @@ impl RingRouter {
             assert!(s < n32, "start position out of range");
             count[s as usize] += 1;
         }
-        let mut occ: Vec<(u32, u32)> = count
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(v, &c)| (v as u32, c))
-            .collect();
-        occ.sort_unstable();
+        // Enumerating 0..n yields the occupied list already sorted.
+        let mut occ_nodes = Vec::new();
+        let mut occ_counts = Vec::new();
+        for (v, &c) in count.iter().enumerate() {
+            if c > 0 {
+                occ_nodes.push(v as u32);
+                occ_counts.push(c);
+            }
+        }
         let mut visited = VisitSet::new(n);
         let mut visits = vec![0u64; n];
         let mut last_visit = vec![
@@ -124,7 +166,7 @@ impl RingRouter {
             n
         ];
         let mut unvisited = n32;
-        for &(v, c) in &occ {
+        for (&v, &c) in occ_nodes.iter().zip(&occ_counts) {
             visited.insert(v as usize);
             visits[v as usize] = u64::from(c);
             last_visit[v as usize].multiplicity = c;
@@ -135,17 +177,18 @@ impl RingRouter {
             n: n32,
             k: starts.len() as u32,
             dirs: dirs.to_vec(),
-            occ,
+            occ_nodes,
+            occ_counts,
             round: 0,
             visited,
             unvisited,
             cover_round,
             visits,
             last_visit,
-            held: Vec::new(),
-            cw_moves: Vec::new(),
-            acw_moves: Vec::new(),
-            next_occ: Vec::new(),
+            held: SoaStream::default(),
+            cw_moves: SoaStream::default(),
+            acw_moves: SoaStream::default(),
+            next_occ: SoaStream::default(),
         }
     }
 
@@ -175,15 +218,33 @@ impl RingRouter {
 
     /// Agents currently at `v`.
     pub fn agents_at(&self, v: u32) -> u32 {
-        match self.occ.binary_search_by_key(&v, |&(node, _)| node) {
-            Ok(i) => self.occ[i].1,
+        match self.occ_nodes.binary_search(&v) {
+            Ok(i) => self.occ_counts[i],
             Err(_) => 0,
         }
     }
 
-    /// Sorted `(node, count)` pairs of occupied nodes.
-    pub fn occupied(&self) -> &[(u32, u32)] {
-        &self.occ
+    /// Sorted `(node, count)` pairs of occupied nodes, materialised from
+    /// the SoA halves (convenience; the hot paths use
+    /// [`occupied_nodes`](Self::occupied_nodes) /
+    /// [`occupied_counts`](Self::occupied_counts) directly).
+    pub fn occupied(&self) -> Vec<(u32, u32)> {
+        self.occ_nodes
+            .iter()
+            .copied()
+            .zip(self.occ_counts.iter().copied())
+            .collect()
+    }
+
+    /// Occupied nodes, sorted ascending.
+    pub fn occupied_nodes(&self) -> &[u32] {
+        &self.occ_nodes
+    }
+
+    /// Agent counts parallel to [`occupied_nodes`](Self::occupied_nodes),
+    /// all `> 0`.
+    pub fn occupied_counts(&self) -> &[u32] {
+        &self.occ_counts
     }
 
     /// `n_v(t)`: visits to `v` in rounds `[1, t]`, plus agents initially
@@ -219,7 +280,7 @@ impl RingRouter {
     pub fn state(&self) -> RingState {
         RingState {
             dirs: self.dirs.clone(),
-            occupied: self.occ.clone(),
+            occupied: self.occupied(),
         }
     }
 
@@ -263,19 +324,20 @@ impl RingRouter {
         cw_moves.clear();
         acw_moves.clear();
         next_occ.clear();
-        // Departures. Walking `occ` in ascending node order emits each move
-        // stream already sorted by destination: clockwise destinations
-        // `v+1` are increasing except for one possible wrap from `n−1` to
-        // `0` (necessarily the last element), anticlockwise destinations
-        // `v−1` likewise except for one wrap from `0` to `n−1`
-        // (necessarily the first element). Held agents inherit the sort
-        // order of `occ` directly.
-        for i in 0..self.occ.len() {
-            let (v, c) = self.occ[i];
+        // Departures. Walking the occupied list in ascending node order
+        // emits each move stream already sorted by destination: clockwise
+        // destinations `v+1` are increasing except for one possible wrap
+        // from `n−1` to `0` (necessarily the last element), anticlockwise
+        // destinations `v−1` likewise except for one wrap from `0` to
+        // `n−1` (necessarily the first element). Held agents inherit the
+        // sort order of the occupied list directly.
+        for i in 0..self.occ_nodes.len() {
+            let v = self.occ_nodes[i];
+            let c = self.occ_counts[i];
             let h = delay(v, c).min(c);
             let moving = c - h;
             if h > 0 {
-                held.push((v, h));
+                held.push(v, h);
             }
             if moving == 0 {
                 continue;
@@ -292,53 +354,53 @@ impl RingRouter {
                 (against, with_ptr)
             };
             if cw_cnt > 0 {
-                cw_moves.push((self.cw(v), cw_cnt));
+                cw_moves.push(self.cw(v), cw_cnt);
             }
             if acw_cnt > 0 {
-                acw_moves.push((self.acw(v), acw_cnt));
+                acw_moves.push(self.acw(v), acw_cnt);
             }
         }
         // Rotate the single possible wrap element home; both streams are
         // then strictly increasing in destination (sources are distinct and
         // `v ↦ v±1` is injective on the ring).
-        if cw_moves.len() > 1 && cw_moves[cw_moves.len() - 1].0 == 0 {
-            cw_moves.rotate_right(1);
+        if cw_moves.len() > 1 && cw_moves.nodes[cw_moves.len() - 1] == 0 {
+            cw_moves.nodes.rotate_right(1);
+            cw_moves.counts.rotate_right(1);
         }
-        if acw_moves.len() > 1 && acw_moves[0].0 == self.n - 1 {
-            acw_moves.rotate_left(1);
+        if acw_moves.len() > 1 && acw_moves.nodes[0] == self.n - 1 {
+            acw_moves.nodes.rotate_left(1);
+            acw_moves.counts.rotate_left(1);
         }
-        // O(k) three-way merge of the pre-sorted streams. Each destination
-        // appears at most once per stream, so one comparison round per
-        // output element suffices.
+        // O(k) branchless three-way merge of the pre-sorted streams. The
+        // sentinels make every head load unconditional; each destination
+        // appears at most once per stream, so the winning streams all
+        // advance by their `head == dest` flag and their counts are masked
+        // in by the same flag — no per-element branching on stream shape.
+        held.seal();
+        cw_moves.seal();
+        acw_moves.seal();
         let (mut hi, mut ci, mut ai) = (0usize, 0usize, 0usize);
         loop {
-            let hd = held.get(hi).map(|m| m.0);
-            let cd = cw_moves.get(ci).map(|m| m.0);
-            let ad = acw_moves.get(ai).map(|m| m.0);
-            let Some(dest) = [hd, cd, ad].into_iter().flatten().min() else {
+            let hd = held.nodes[hi];
+            let cd = cw_moves.nodes[ci];
+            let ad = acw_moves.nodes[ai];
+            let dest = hd.min(cd).min(ad);
+            if dest == u32::MAX {
                 break;
-            };
-            let mut stationary = 0u32;
-            let mut arrived = 0u32;
-            let mut from_cw = false;
-            if hd == Some(dest) {
-                stationary = held[hi].1;
-                hi += 1;
             }
-            if cd == Some(dest) {
-                arrived += cw_moves[ci].1;
-                from_cw = true;
-                ci += 1;
-            }
-            if ad == Some(dest) {
-                arrived += acw_moves[ai].1;
-                ai += 1;
-            }
+            let take_h = u32::from(hd == dest);
+            let take_c = u32::from(cd == dest);
+            let take_a = u32::from(ad == dest);
+            let stationary = take_h * held.counts[hi];
+            let arrived = take_c * cw_moves.counts[ci] + take_a * acw_moves.counts[ai];
+            hi += take_h as usize;
+            ci += take_c as usize;
+            ai += take_a as usize;
             let d = dest as usize;
             if arrived > 0 {
                 // record the visit (held agents do not revisit)
                 self.visits[d] += u64::from(arrived);
-                let entry_dir = if from_cw { CW } else { ACW };
+                let entry_dir = if take_c != 0 { CW } else { ACW };
                 let propagation = arrived == 1 && self.dirs[d] == entry_dir;
                 self.last_visit[d] = VisitRecord {
                     round: self.round,
@@ -353,21 +415,22 @@ impl RingRouter {
                     }
                 }
             }
-            next_occ.push((dest, stationary + arrived));
+            next_occ.push(dest, stationary + arrived);
         }
-        std::mem::swap(&mut self.occ, &mut next_occ);
+        std::mem::swap(&mut self.occ_nodes, &mut next_occ.nodes);
+        std::mem::swap(&mut self.occ_counts, &mut next_occ.counts);
         self.held = held;
         self.cw_moves = cw_moves;
         self.acw_moves = acw_moves;
         self.next_occ = next_occ;
-        debug_assert!(self.occ.windows(2).all(|w| w[0].0 < w[1].0), "occ sorted");
+        debug_assert!(self.occ_nodes.windows(2).all(|w| w[0] < w[1]), "occ sorted");
         debug_assert_eq!(
             u64::from(self.unvisited),
             self.n as u64 - self.visited.count_ones() as u64,
             "unvisited counter agrees with popcount"
         );
         debug_assert_eq!(
-            self.occ.iter().map(|&(_, c)| c).sum::<u32>(),
+            self.occ_counts.iter().sum::<u32>(),
             self.k,
             "agents conserved"
         );
@@ -387,6 +450,28 @@ impl RingRouter {
         for _ in 0..rounds {
             self.step();
         }
+    }
+}
+
+impl crate::CoverProcess for RingRouter {
+    fn node_count(&self) -> usize {
+        self.n as usize
+    }
+
+    fn round(&self) -> u64 {
+        RingRouter::round(self)
+    }
+
+    fn step(&mut self) {
+        RingRouter::step(self);
+    }
+
+    fn cover_round(&self) -> Option<u64> {
+        RingRouter::cover_round(self)
+    }
+
+    fn visited_count(&self) -> usize {
+        (self.n - self.unvisited) as usize
     }
 }
 

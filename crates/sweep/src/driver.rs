@@ -1,0 +1,139 @@
+//! The sharded fan-out: scoped worker threads pulling cells off a shared
+//! atomic cursor.
+//!
+//! Design constraints: the offline build has no rayon/crossbeam, so the
+//! driver is plain `std::thread::scope` (structured — workers cannot
+//! outlive the call); cells are claimed one at a time from an
+//! `AtomicUsize`, so a slow cell (say, a worst-case `n = 10⁶` cover run)
+//! never stalls the other workers behind a static partition; and each
+//! worker buffers `(index, result)` pairs locally, so the hot path takes
+//! no locks and the output order is *always* the input cell order,
+//! whatever the thread interleaving was.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "ROTOR_SWEEP_THREADS";
+
+/// Number of worker threads to use: the `ROTOR_SWEEP_THREADS` environment
+/// variable if set to a positive integer, otherwise the machine's
+/// available parallelism (1 if that cannot be determined).
+pub fn thread_count() -> usize {
+    threads_from(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// Pure core of [`thread_count`] (separable for tests): parses an
+/// override value, falling back to available parallelism.
+pub fn threads_from(var: Option<&str>) -> usize {
+    if let Some(s) = var {
+        if let Ok(t) = s.trim().parse::<usize>() {
+            if t > 0 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(index, &cells[index])` for every cell, fanned across `threads`
+/// scoped worker threads, and returns the results **in cell order**.
+///
+/// `f` must be pure in the cell (no dependence on thread identity or
+/// execution order) for the output to be reproducible; all the runners in
+/// this crate derive their randomness from the cell seed, so re-running
+/// with a different thread count produces identical results.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates a panic from `f`.
+pub fn run_sharded<C, R, F>(cells: &[C], threads: usize, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(usize, &C) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let workers = threads.min(cells.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(cells.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &cells[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            tagged.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    debug_assert_eq!(tagged.len(), cells.len());
+    // Restore input order: indices are a permutation of 0..len.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_in_cell_order_any_thread_count() {
+        let cells: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = cells.iter().map(|c| c * c).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let got = run_sharded(&cells, threads, |_, &c| c * c);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_cell_list() {
+        let got: Vec<u32> = run_sharded(&[] as &[u32], 4, |_, &c| c);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn index_matches_cell() {
+        let cells: Vec<usize> = (0..50).collect();
+        let got = run_sharded(&cells, 4, |i, &c| (i, c));
+        assert!(got.iter().all(|&(i, c)| i == c));
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        let cells: Vec<u8> = vec![0; 64];
+        run_sharded(&cells, 7, |_, _| {
+            RUNS.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(RUNS.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        run_sharded(&[1u8], 0, |_, &c| c);
+    }
+
+    #[test]
+    fn threads_from_parsing() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 12 ")), 12);
+        let fallback = threads_from(None);
+        assert!(fallback >= 1);
+        assert_eq!(threads_from(Some("0")), fallback, "zero falls back");
+        assert_eq!(threads_from(Some("lots")), fallback, "garbage falls back");
+    }
+}

@@ -1,0 +1,64 @@
+//! # rotor-sweep
+//!
+//! The sharded parameter-sweep subsystem: one place where every experiment
+//! in this workspace fans its (n, k, seed, placement, pointer-init) grid
+//! across threads.
+//!
+//! The paper's claims are statements about *curves* — cover time as a
+//! function of the agent count `k` for a fixed ring size `n`, under
+//! worst-case, best-case and random initialisations — and its headline
+//! comparison ("a deterministic alternative to parallel random walks")
+//! needs the rotor-router and the `k`-walker baseline measured over the
+//! *same* grid. Before this crate, every bench target hand-rolled its own
+//! single-threaded loop; now they all build a [`SweepGrid`], hand its
+//! cells to [`run_sharded`], and aggregate the [`CoverSample`]s — so
+//! scaling `n` to 10⁵–10⁶ is a thread-count question, not a rewrite.
+//!
+//! * [`grid`] — the cell lattice: deterministic enumeration and per-cell
+//!   seed derivation (splitmix64), placement/pointer-init specs.
+//! * [`driver`] — [`run_sharded`]: a work-stealing `std::thread::scope`
+//!   fan-out over any `Sync` cell type, deterministic output order, thread
+//!   count from the `ROTOR_SWEEP_THREADS` environment variable.
+//! * [`runners`] — per-cell cover measurement for each
+//!   [`CoverProcess`](rotor_core::CoverProcess) backend: the ring-
+//!   specialised rotor engine, the general-graph engine, and the parallel
+//!   random walk.
+//!
+//! ## Example: one grid, two processes
+//!
+//! ```
+//! use rotor_sweep::{
+//!     driver::run_sharded,
+//!     grid::{InitSpec, PlacementSpec, SweepGrid},
+//!     runners::{run_cover_cell, ProcessKind},
+//! };
+//!
+//! let grid = SweepGrid {
+//!     ns: vec![64],
+//!     ks: vec![1, 2, 4],
+//!     seed_count: 3,
+//!     base_seed: 0xC0FFEE,
+//!     placement: PlacementSpec::Random,
+//!     init: InitSpec::Random,
+//! };
+//! let cells = grid.cells();
+//! let rotor = run_sharded(&cells, 2, |_, c| {
+//!     run_cover_cell(c, ProcessKind::RotorRing, 1 << 24)
+//! });
+//! let walks = run_sharded(&cells, 2, |_, c| {
+//!     run_cover_cell(c, ProcessKind::RandomWalk, 1 << 24)
+//! });
+//! assert_eq!(rotor.len(), walks.len());
+//! assert!(rotor.iter().zip(&walks).all(|(r, w)| (r.n, r.k, r.seed) == (w.n, w.k, w.seed)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod grid;
+pub mod runners;
+
+pub use driver::{run_sharded, thread_count};
+pub use grid::{Cell, InitSpec, PlacementSpec, SweepGrid};
+pub use runners::{run_cover_cell, CoverSample, ProcessKind};

@@ -1,0 +1,185 @@
+//! Per-cell cover-time measurement for every [`CoverProcess`] backend.
+//!
+//! A runner turns one [`Cell`] into one [`CoverSample`]; which process
+//! backs the cell is a [`ProcessKind`] value, so the same sharded sweep
+//! produces paired rotor-router and random-walk curves from one grid —
+//! the measurement the paper's "deterministic alternative to parallel
+//! random walks" framing calls for.
+
+use crate::grid::Cell;
+use rotor_core::{CoverProcess, Engine, RingRouter};
+use rotor_graph::{builders, NodeId};
+use rotor_walks::ParallelWalk;
+use std::time::Instant;
+
+/// Which [`CoverProcess`] implementation backs a cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcessKind {
+    /// The ring-specialised rotor-router ([`RingRouter`]) — the fast path
+    /// for every ring sweep.
+    RotorRing,
+    /// The general-graph rotor-router ([`Engine`]) on a ring graph —
+    /// slower, used to cross-check the specialised engine at sweep scale.
+    RotorGeneral,
+    /// `k` independent random walkers ([`ParallelWalk`]) — the baseline.
+    RandomWalk,
+}
+
+/// One measured cell: the cell coordinates plus the observed cover
+/// behaviour and wall-clock cost.
+#[derive(Clone, Copy, Debug)]
+pub struct CoverSample {
+    /// Ring size.
+    pub n: usize,
+    /// Agent / walker count.
+    pub k: usize,
+    /// Repetition index within the (n, k) point.
+    pub seed_index: usize,
+    /// The cell's derived seed.
+    pub seed: u64,
+    /// Cover round, or `None` if `max_rounds` elapsed first.
+    pub cover: Option<u64>,
+    /// Rounds actually simulated.
+    pub rounds: u64,
+    /// Wall-clock nanoseconds spent simulating (excludes setup).
+    pub nanos: u64,
+}
+
+impl CoverSample {
+    /// Simulated rounds per second over this cell's run.
+    pub fn rounds_per_sec(&self) -> f64 {
+        if self.nanos == 0 {
+            return f64::NAN;
+        }
+        self.rounds as f64 / (self.nanos as f64 / 1e9)
+    }
+}
+
+/// Measures one cell with the given process, running to cover or
+/// `max_rounds`, whichever comes first.
+pub fn run_cover_cell(cell: &Cell, kind: ProcessKind, max_rounds: u64) -> CoverSample {
+    let positions = cell.positions();
+    match kind {
+        ProcessKind::RotorRing => {
+            let dirs = cell.ring_directions(&positions);
+            let mut p = RingRouter::new(cell.n, &positions, &dirs);
+            finish(cell, &mut p, max_rounds)
+        }
+        ProcessKind::RotorGeneral => {
+            let g = builders::ring(cell.n);
+            let dirs = cell.ring_directions(&positions);
+            let ids: Vec<NodeId> = positions.iter().map(|&v| NodeId::new(v)).collect();
+            let ptrs: Vec<u32> = dirs.iter().map(|&d| u32::from(d)).collect();
+            let mut p = Engine::with_pointers(&g, &ids, ptrs);
+            finish(cell, &mut p, max_rounds)
+        }
+        ProcessKind::RandomWalk => {
+            let g = builders::ring(cell.n);
+            let ids: Vec<NodeId> = positions.iter().map(|&v| NodeId::new(v)).collect();
+            // Walk trajectories draw from their own stream, domain-
+            // separated from placement/init randomness.
+            let mut p = ParallelWalk::new(&g, &ids, crate::grid::splitmix64(cell.seed ^ 0x3A1C));
+            finish(cell, &mut p, max_rounds)
+        }
+    }
+}
+
+/// Shared tail of every runner: timed `run_until_covered` plus sample
+/// assembly — exactly the surface [`CoverProcess`] promises.
+fn finish<P: CoverProcess>(cell: &Cell, p: &mut P, max_rounds: u64) -> CoverSample {
+    let start = Instant::now();
+    let cover = p.run_until_covered(max_rounds);
+    let nanos = start.elapsed().as_nanos() as u64;
+    CoverSample {
+        n: cell.n,
+        k: cell.k,
+        seed_index: cell.seed_index,
+        seed: cell.seed,
+        cover,
+        rounds: p.round(),
+        nanos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_sharded;
+    use crate::grid::{InitSpec, PlacementSpec, SweepGrid};
+
+    fn grid() -> SweepGrid {
+        SweepGrid {
+            ns: vec![32, 64],
+            ks: vec![1, 2, 4],
+            seed_count: 2,
+            base_seed: 7,
+            placement: PlacementSpec::Random,
+            init: InitSpec::Random,
+        }
+    }
+
+    #[test]
+    fn rotor_ring_matches_general_engine_cell_by_cell() {
+        let cells = grid().cells();
+        let fast = run_sharded(&cells, 2, |_, c| {
+            run_cover_cell(c, ProcessKind::RotorRing, 1 << 22)
+        });
+        let general = run_sharded(&cells, 2, |_, c| {
+            run_cover_cell(c, ProcessKind::RotorGeneral, 1 << 22)
+        });
+        for (f, g) in fast.iter().zip(&general) {
+            assert_eq!(f.cover, g.cover, "n={} k={} seed={}", f.n, f.k, f.seed);
+            assert!(f.cover.is_some(), "rotor-router always covers");
+        }
+    }
+
+    #[test]
+    fn sharding_is_thread_count_invariant() {
+        let cells = grid().cells();
+        let one: Vec<Option<u64>> = run_sharded(&cells, 1, |_, c| {
+            run_cover_cell(c, ProcessKind::RandomWalk, 1 << 22).cover
+        });
+        let four: Vec<Option<u64>> = run_sharded(&cells, 4, |_, c| {
+            run_cover_cell(c, ProcessKind::RandomWalk, 1 << 22).cover
+        });
+        assert_eq!(one, four, "seeded walks are scheduling-independent");
+    }
+
+    #[test]
+    fn worst_case_rotor_cell_matches_direct_router() {
+        use rotor_core::init::PointerInit;
+        use rotor_core::placement::Placement;
+        use rotor_core::RingRouter;
+        let cell = Cell {
+            n: 128,
+            k: 4,
+            seed_index: 0,
+            seed: 0xDEAD,
+            placement: PlacementSpec::AllOnOne,
+            init: InitSpec::TowardNearestAgent,
+        };
+        let sample = run_cover_cell(&cell, ProcessKind::RotorRing, u64::MAX);
+        let starts = Placement::AllOnOne(0).positions(128, 4);
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(128, &starts);
+        let direct = RingRouter::new(128, &starts, &dirs)
+            .run_until_covered(u64::MAX)
+            .unwrap();
+        assert_eq!(sample.cover, Some(direct));
+        assert_eq!(sample.rounds, direct, "stops at cover");
+    }
+
+    #[test]
+    fn timeout_yields_none_with_rounds_spent() {
+        let cell = Cell {
+            n: 256,
+            k: 1,
+            seed_index: 0,
+            seed: 1,
+            placement: PlacementSpec::AllOnOne,
+            init: InitSpec::TowardNearestAgent,
+        };
+        let s = run_cover_cell(&cell, ProcessKind::RotorRing, 10);
+        assert_eq!(s.cover, None);
+        assert_eq!(s.rounds, 10);
+    }
+}

@@ -6,38 +6,76 @@
 //! alternative to parallel random walks"; quantitative comparisons (cover
 //! time distributions, speed-up curves à la Alon et al.) need a `k`
 //! independent-walkers baseline on the same [`rotor_graph::PortGraph`]s.
-//! This crate currently provides the seeded single-step walker primitive;
-//! the full parallel sweep driver is an open ROADMAP item that the
-//! workspace build-out of this PR unblocks.
+//! [`ParallelWalk`] implements [`rotor_core::CoverProcess`], so the sharded
+//! sweep driver in `rotor-sweep` runs rotor-router and random-walk cells
+//! through identical machinery and the two cover-time curves come out of
+//! one grid.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rotor_core::bitset::VisitSet;
+use rotor_core::CoverProcess;
 use rotor_graph::{NodeId, PortGraph};
 
-/// `k` independent simple random walkers advancing synchronously.
+/// `k` independent simple random walkers advancing synchronously on a
+/// borrowed graph, with visited-node tracking shared with the rotor
+/// engines ([`VisitSet`]).
+///
+/// ```
+/// use rotor_graph::{builders, NodeId};
+/// use rotor_walks::ParallelWalk;
+///
+/// let g = builders::ring(16);
+/// let mut w = ParallelWalk::new(&g, &[NodeId::new(0)], 3);
+/// assert!(w.cover_time(1_000_000).is_some());
+/// ```
 #[derive(Clone, Debug)]
-pub struct ParallelWalk {
+pub struct ParallelWalk<'g> {
+    g: &'g PortGraph,
     positions: Vec<NodeId>,
     rng: SmallRng,
     round: u64,
+    visited: VisitSet,
+    unvisited: usize,
+    cover_round: Option<u64>,
 }
 
-impl ParallelWalk {
-    /// Creates walkers at `starts`, with a seeded (reproducible) RNG.
+impl<'g> ParallelWalk<'g> {
+    /// Creates walkers at `starts` on `g`, with a seeded (reproducible)
+    /// RNG. Starting nodes count as visited (round 0), mirroring the
+    /// rotor engines.
     ///
     /// # Panics
     ///
-    /// Panics if `starts` is empty.
-    pub fn new(starts: &[NodeId], seed: u64) -> Self {
+    /// Panics if `starts` is empty or a start is out of range.
+    pub fn new(g: &'g PortGraph, starts: &[NodeId], seed: u64) -> Self {
         assert!(!starts.is_empty(), "need at least one walker");
+        let n = g.node_count();
+        let mut visited = VisitSet::new(n);
+        let mut unvisited = n;
+        for &p in starts {
+            assert!(p.index() < n, "walker position out of range");
+            if visited.insert(p.index()) {
+                unvisited -= 1;
+            }
+        }
         ParallelWalk {
+            g,
             positions: starts.to_vec(),
             rng: SmallRng::seed_from_u64(seed),
             round: 0,
+            visited,
+            unvisited,
+            cover_round: (unvisited == 0).then_some(0),
         }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g PortGraph {
+        self.g
     }
 
     /// Current walker positions (multiset).
@@ -50,40 +88,64 @@ impl ParallelWalk {
         self.round
     }
 
-    /// Advances one synchronous round: every walker moves to a uniformly
-    /// random neighbour.
-    pub fn step(&mut self, g: &PortGraph) {
-        self.round += 1;
-        for p in &mut self.positions {
-            let d = g.degree(*p);
-            *p = g.neighbor(*p, self.rng.gen_range(0..d));
-        }
+    /// Whether `v` has ever been visited (or initially held a walker).
+    pub fn is_visited(&self, v: NodeId) -> bool {
+        self.visited.contains(v.index())
     }
 
-    /// Rounds until every node of `g` has been visited, or `None` after
-    /// `max_rounds`.
-    pub fn cover_time(&mut self, g: &PortGraph, max_rounds: u64) -> Option<u64> {
-        let mut visited = vec![false; g.node_count()];
-        let mut remaining = g.node_count();
-        for &p in &self.positions {
-            if !visited[p.index()] {
-                visited[p.index()] = true;
-                remaining -= 1;
-            }
-        }
-        while remaining > 0 {
-            if self.round >= max_rounds {
-                return None;
-            }
-            self.step(g);
-            for &p in &self.positions {
-                if !visited[p.index()] {
-                    visited[p.index()] = true;
-                    remaining -= 1;
+    /// Number of never-visited nodes.
+    pub fn unvisited_count(&self) -> usize {
+        self.unvisited
+    }
+
+    /// The round at which the last node was first visited, if any
+    /// (`Some(0)` if the starting positions already cover).
+    pub fn cover_round(&self) -> Option<u64> {
+        self.cover_round
+    }
+
+    /// Advances one synchronous round: every walker moves to a uniformly
+    /// random neighbour.
+    pub fn step(&mut self) {
+        self.round += 1;
+        for p in &mut self.positions {
+            let d = self.g.degree(*p);
+            *p = self.g.neighbor(*p, self.rng.gen_range(0..d));
+            if self.visited.insert(p.index()) {
+                self.unvisited -= 1;
+                if self.unvisited == 0 && self.cover_round.is_none() {
+                    self.cover_round = Some(self.round);
                 }
             }
         }
-        Some(self.round)
+    }
+
+    /// Rounds until every node has been visited, or `None` after
+    /// `max_rounds` total rounds.
+    pub fn cover_time(&mut self, max_rounds: u64) -> Option<u64> {
+        CoverProcess::run_until_covered(self, max_rounds)
+    }
+}
+
+impl CoverProcess for ParallelWalk<'_> {
+    fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+
+    fn round(&self) -> u64 {
+        ParallelWalk::round(self)
+    }
+
+    fn step(&mut self) {
+        ParallelWalk::step(self);
+    }
+
+    fn cover_round(&self) -> Option<u64> {
+        ParallelWalk::cover_round(self)
+    }
+
+    fn visited_count(&self) -> usize {
+        self.g.node_count() - self.unvisited
     }
 }
 
@@ -96,11 +158,11 @@ mod tests {
     fn walkers_stay_on_graph_and_reproduce() {
         let g = builders::ring(12);
         let starts = vec![NodeId::new(0), NodeId::new(6)];
-        let mut a = ParallelWalk::new(&starts, 7);
-        let mut b = ParallelWalk::new(&starts, 7);
+        let mut a = ParallelWalk::new(&g, &starts, 7);
+        let mut b = ParallelWalk::new(&g, &starts, 7);
         for _ in 0..100 {
-            a.step(&g);
-            b.step(&g);
+            a.step();
+            b.step();
             assert_eq!(a.positions(), b.positions());
             for p in a.positions() {
                 assert!(p.index() < 12);
@@ -111,16 +173,60 @@ mod tests {
     #[test]
     fn covers_small_ring() {
         let g = builders::ring(16);
-        let mut w = ParallelWalk::new(&[NodeId::new(0)], 3);
-        let c = w.cover_time(&g, 1_000_000).expect("random walk covers");
+        let mut w = ParallelWalk::new(&g, &[NodeId::new(0)], 3);
+        let c = w.cover_time(1_000_000).expect("random walk covers");
         assert!(c >= 15, "cannot cover 16 nodes in fewer than 15 steps");
+        assert_eq!(w.cover_round(), Some(c), "cover round is sticky");
+        assert_eq!(w.unvisited_count(), 0);
     }
 
     #[test]
     fn cover_time_counts_initial_positions() {
         let g = builders::ring(3);
         let starts = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
-        let mut w = ParallelWalk::new(&starts, 1);
-        assert_eq!(w.cover_time(&g, 10), Some(0));
+        let mut w = ParallelWalk::new(&g, &starts, 1);
+        assert_eq!(w.cover_time(10), Some(0));
+    }
+
+    #[test]
+    fn cover_time_times_out_and_resumes() {
+        let g = builders::ring(64);
+        let mut w = ParallelWalk::new(&g, &[NodeId::new(0)], 11);
+        assert_eq!(w.cover_time(2), None, "2 rounds cannot cover 64 nodes");
+        assert_eq!(w.round(), 2);
+        // resuming with a larger budget continues the same trajectory
+        assert!(w.cover_time(10_000_000).is_some());
+    }
+
+    #[test]
+    fn visited_tracking_is_incremental() {
+        let g = builders::grid(4, 4);
+        let mut w = ParallelWalk::new(&g, &[NodeId::new(5)], 2);
+        assert!(w.is_visited(NodeId::new(5)));
+        assert_eq!(w.unvisited_count(), 15);
+        let mut seen = 1;
+        for _ in 0..500 {
+            w.step();
+            let now = 16 - w.unvisited_count();
+            assert!(now >= seen, "visited count never decreases");
+            seen = now;
+        }
+        assert_eq!(
+            seen,
+            (0..16).filter(|&v| w.is_visited(NodeId::new(v))).count(),
+            "counter agrees with per-node queries"
+        );
+    }
+
+    #[test]
+    fn trait_and_inherent_agree() {
+        let g = builders::ring(24);
+        let starts = [NodeId::new(0), NodeId::new(12)];
+        let mut a = ParallelWalk::new(&g, &starts, 9);
+        let mut b = ParallelWalk::new(&g, &starts, 9);
+        let ca = a.cover_time(1_000_000);
+        let cb = CoverProcess::run_until_covered(&mut b, 1_000_000);
+        assert_eq!(ca, cb);
+        assert_eq!(CoverProcess::visited_count(&b), 24);
     }
 }

@@ -13,8 +13,12 @@
 //!   ring-specialised [`rotor_core::RingRouter`], plus pointer
 //!   initialisations, placements, delays, domains, limit behaviour and
 //!   lock-in certification;
-//! * [`rotor_walks`] — random-walk baselines (in progress);
-//! * [`rotor_analysis`] — sweep statistics (in progress).
+//! * [`rotor_walks`] — the parallel random-walk baseline (implements the
+//!   same [`rotor_core::CoverProcess`] trait as both engines);
+//! * [`rotor_sweep`] — the sharded multi-thread sweep driver fanning
+//!   (n, k, seed) grids over any `CoverProcess`;
+//! * [`rotor_analysis`] — sweep statistics (medians, bootstrap bands,
+//!   regime fits against the paper's `Θ(n²/log k)` / `Θ(n²/k²)` curves).
 //!
 //! ```
 //! use rotor::rotor_core::{init::PointerInit, placement::Placement, RingRouter};
@@ -31,4 +35,5 @@
 pub use rotor_analysis;
 pub use rotor_core;
 pub use rotor_graph;
+pub use rotor_sweep;
 pub use rotor_walks;
