@@ -14,10 +14,17 @@
 //! * automatic regime classification ([`fit_regime`]) of measured
 //!   cover-time curves `T(k)` against the paper's ring regimes — the
 //!   `Θ(n²/log k)` worst case versus the `Θ(n²/k²)`–`Θ(n²/k)` best-case
-//!   band — emitting a [`Regime`] verdict plus the fitted exponent.
+//!   band — emitting a [`Regime`] verdict plus the fitted exponent;
+//! * the shared experiment-report schema ([`report`]):
+//!   [`ExperimentReport`](report::ExperimentReport) /
+//!   [`Curve`](report::Curve) and the dependency-free
+//!   [`Json`](report::Json) builder every `BENCH_<name>.json` is written
+//!   through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -89,9 +96,11 @@ pub struct ConfidenceBand {
 ///
 /// Draws `resamples` resamples with replacement, computes each resample's
 /// median, and returns the `[(1−confidence)/2, (1+confidence)/2]`
-/// percentile band of those medians. Deterministic per `seed`. Returns
-/// `None` for an empty sample, `resamples == 0`, or a `confidence`
-/// outside `(0, 1)`.
+/// percentile band of those medians. Deterministic per `seed`, which is
+/// domain-separated through [`rotor_core::rng::STREAM_BOOTSTRAP`] so a
+/// caller may pass the same seed it used for data generation without the
+/// resampling stream overlapping it. Returns `None` for an empty sample,
+/// `resamples == 0`, or a `confidence` outside `(0, 1)`.
 ///
 /// ```
 /// use rotor_analysis::bootstrap_median_band;
@@ -108,7 +117,10 @@ pub fn bootstrap_median_band(
     if samples.is_empty() || resamples == 0 || !(confidence > 0.0 && confidence < 1.0) {
         return None;
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(rotor_core::rng::stream(
+        seed,
+        rotor_core::rng::STREAM_BOOTSTRAP,
+    ));
     let mut scratch = vec![0u64; samples.len()];
     let mut medians = Vec::with_capacity(resamples);
     for _ in 0..resamples {

@@ -1,0 +1,375 @@
+//! The one experiment-report schema every `BENCH_<name>.json` goes
+//! through.
+//!
+//! Before this module, each bench target shaped its own ad-hoc JSON, so
+//! cross-PR tooling had to know five layouts. Now a bench builds an
+//! [`ExperimentReport`] — named [`Curve`]s of [`Point`]s with an optional
+//! [`RegimeFit`] verdict per curve — and writes it with
+//! [`ExperimentReport::write`]; the layout is tagged with
+//! [`SCHEMA`] so consumers can detect drift. The underlying [`Json`]
+//! value builder (hand-rolled — serde is not available in the offline
+//! build environment) lives here too and remains available for free-form
+//! extras inside `meta` / point fields.
+//!
+//! Schema (`rotor-experiment/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "rotor-experiment/1",
+//!   "bench": "<name>",
+//!   "threads": 2,
+//!   "meta": { ...bench-wide scalars... },
+//!   "curves": [
+//!     {
+//!       "label": "rotor/random/n1024",
+//!       "meta": { "n": 1024, "process": "rotor", ... },
+//!       "fit": { "regime": "LogSpeedup", "exponent": -0.7, ... } | null,
+//!       "points": [ { "x": 1, "cover": 252574, ... }, ... ]
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::RegimeFit;
+use std::path::{Path, PathBuf};
+
+/// Schema tag written into every report (bump on layout changes).
+pub const SCHEMA: &str = "rotor-experiment/1";
+
+/// A JSON value, built by hand (no serde in the offline environment).
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// An integer (emitted without a decimal point).
+    Int(u64),
+    /// A float (emitted with enough precision for round-tripping).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serialises the value.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Null => out.push_str("null"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// One measured point of a [`Curve`]: the sweep coordinate `x` (agent
+/// count `k` for cover curves, node count for throughput curves) plus the
+/// measured fields.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Sweep coordinate.
+    pub x: u64,
+    /// Measured fields, in emission order (e.g. `cover`, `band_lo`).
+    pub fields: Vec<(String, Json)>,
+}
+
+impl Point {
+    /// A point at `x` with the given fields.
+    pub fn new(x: u64, fields: impl IntoIterator<Item = (&'static str, Json)>) -> Point {
+        Point {
+            x,
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = vec![("x".to_string(), Json::Int(self.x))];
+        obj.extend(self.fields.iter().cloned());
+        Json::Obj(obj)
+    }
+}
+
+/// One named series of a report: points along a sweep axis under fixed
+/// curve-level metadata, with an optional [`RegimeFit`] verdict.
+#[derive(Clone, Debug)]
+pub struct Curve {
+    /// Stable identifier, conventionally `process/placement/nN` for cover
+    /// curves (e.g. `"rotor/all_on_one/n1024"`).
+    pub label: String,
+    /// Curve-level metadata (family, n, placement, …).
+    pub meta: Vec<(String, Json)>,
+    /// Regime classification of the curve, when one was fitted.
+    pub fit: Option<RegimeFit>,
+    /// The measured points, in sweep order.
+    pub points: Vec<Point>,
+}
+
+impl Curve {
+    /// An empty curve with the given label.
+    pub fn new(label: impl Into<String>) -> Curve {
+        Curve {
+            label: label.into(),
+            meta: Vec::new(),
+            fit: None,
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a curve-level metadata field (builder style).
+    pub fn meta(mut self, key: &str, value: Json) -> Curve {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".to_string(), Json::Str(self.label.clone())),
+            ("meta".to_string(), Json::Obj(self.meta.clone())),
+            ("fit".to_string(), fit_json(&self.fit)),
+            (
+                "points".to_string(),
+                Json::Arr(self.points.iter().map(Point::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Serialises a [`RegimeFit`] (or `null` when no verdict was possible).
+pub fn fit_json(fit: &Option<RegimeFit>) -> Json {
+    match fit {
+        Some(f) => Json::obj([
+            ("regime", Json::Str(format!("{:?}", f.regime))),
+            ("exponent", Json::Num(f.exponent)),
+            ("power_residual", Json::Num(f.power_residual)),
+            (
+                "log_coefficient",
+                f.log_coefficient.map(Json::Num).unwrap_or(Json::Null),
+            ),
+            (
+                "log_residual",
+                f.log_residual.map(Json::Num).unwrap_or(Json::Null),
+            ),
+        ]),
+        None => Json::Null,
+    }
+}
+
+/// A complete experiment report: what one bench target measured, in the
+/// shared `rotor-experiment/1` layout.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Bench name; the file goes to `BENCH_<bench>.json`.
+    pub bench: String,
+    /// Worker threads the sweep ran on.
+    pub threads: u64,
+    /// Bench-wide metadata (grid shape, seeds, derived scalars).
+    pub meta: Vec<(String, Json)>,
+    /// The measured curves.
+    pub curves: Vec<Curve>,
+}
+
+impl ExperimentReport {
+    /// An empty report for the named bench.
+    pub fn new(bench: impl Into<String>, threads: u64) -> ExperimentReport {
+        ExperimentReport {
+            bench: bench.into(),
+            threads,
+            meta: Vec::new(),
+            curves: Vec::new(),
+        }
+    }
+
+    /// Adds a report-level metadata field (builder style).
+    pub fn meta(mut self, key: &str, value: Json) -> ExperimentReport {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+
+    /// The report as a [`Json`] value in the `rotor-experiment/1` layout.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            ("bench".to_string(), Json::Str(self.bench.clone())),
+            ("threads".to_string(), Json::Int(self.threads)),
+            ("meta".to_string(), Json::Obj(self.meta.clone())),
+            (
+                "curves".to_string(),
+                Json::Arr(self.curves.iter().map(Curve::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<bench>.json` at the repository root and returns the
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — a bench run that cannot record its summary
+    /// should fail loudly, not silently.
+    pub fn write(&self) -> PathBuf {
+        write_summary(&self.bench, &self.to_json())
+    }
+}
+
+/// The canonical output path for a bench summary: `BENCH_<name>.json`
+/// at the repository root (two levels above this crate's manifest).
+pub fn bench_json_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join(format!("BENCH_{name}.json"))
+}
+
+/// Writes the summary and returns the path written to.
+///
+/// # Panics
+///
+/// Panics on I/O errors — a bench run that cannot record its summary
+/// should fail loudly, not silently.
+pub fn write_summary(name: &str, value: &Json) -> PathBuf {
+    let path = bench_json_path(name);
+    let mut body = value.render();
+    body.push('\n');
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regime;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Json::obj([
+            ("name", Json::Str("table1".into())),
+            ("n", Json::Int(1024)),
+            ("ok", Json::Bool(true)),
+            ("rate", Json::Num(1.5)),
+            ("none", Json::Null),
+            ("rows", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"table1","n":1024,"ok":true,"rate":1.5,"none":null,"rows":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(v.render(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn path_is_repo_root() {
+        let p = bench_json_path("x");
+        assert!(p.ends_with("../../BENCH_x.json"), "{}", p.display());
+    }
+
+    #[test]
+    fn report_layout_is_schema_tagged() {
+        let mut curve = Curve::new("rotor/random/n64").meta("n", Json::Int(64));
+        curve
+            .points
+            .push(Point::new(1, [("cover", Json::Int(900))]));
+        curve
+            .points
+            .push(Point::new(2, [("cover", Json::Int(400))]));
+        let report = ExperimentReport::new("demo", 2).meta("seed_count", Json::Int(5));
+        let mut report = report;
+        report.curves.push(curve);
+        let body = report.to_json().render();
+        assert!(body.starts_with(r#"{"schema":"rotor-experiment/1","bench":"demo","threads":2"#));
+        assert!(body.contains(r#""meta":{"seed_count":5}"#));
+        assert!(body.contains(r#""label":"rotor/random/n64""#));
+        assert!(body.contains(r#""fit":null"#));
+        assert!(body.contains(r#""points":[{"x":1,"cover":900},{"x":2,"cover":400}]"#));
+    }
+
+    #[test]
+    fn fit_serialisation() {
+        assert_eq!(fit_json(&None).render(), "null");
+        let fit = RegimeFit {
+            regime: Regime::LogSpeedup,
+            exponent: -0.75,
+            power_residual: 0.01,
+            log_coefficient: Some(1.02),
+            log_residual: Some(0.002),
+        };
+        let body = fit_json(&Some(fit)).render();
+        assert!(body.contains(r#""regime":"LogSpeedup""#));
+        assert!(body.contains(r#""exponent":-0.75"#));
+        assert!(body.contains(r#""log_coefficient":1.02"#));
+    }
+}

@@ -2,10 +2,11 @@
 //! (grid, hypercube, random regular) — the binding constraint on every
 //! sweep in this repository.
 //!
-//! Writes `BENCH_engine_throughput.json` with rounds/sec per workload.
+//! Writes `BENCH_engine_throughput.json` (schema `rotor-experiment/1`)
+//! with rounds/sec per workload (x = node count).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rotor_bench::report::{write_summary, Json};
+use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
 use rotor_core::init::PointerInit;
 use rotor_core::Engine;
 use rotor_graph::{builders, NodeId, PortGraph};
@@ -44,28 +45,26 @@ fn bench(c: &mut Criterion) {
     let rounds: u64 = if c.is_test_mode() { 64 } else { 4096 };
 
     // Machine-readable summary for cross-PR trajectory tracking.
-    let mut rows = Vec::new();
+    let mut report = ExperimentReport::new("engine_throughput", 1)
+        .meta("agents", Json::Int(u64::from(AGENTS)))
+        .meta("rounds", Json::Int(rounds));
+    let mut curve = Curve::new("rounds_per_sec");
     for (name, g) in workloads() {
         let rps = measure_rounds_per_sec(&g, rounds);
-        rows.push(Json::obj([
-            ("graph", Json::Str(name.into())),
-            ("nodes", Json::Int(g.node_count() as u64)),
-            ("edges", Json::Int(g.edge_count() as u64)),
-            ("agents", Json::Int(u64::from(AGENTS))),
-            ("rounds", Json::Int(rounds)),
-            ("rounds_per_sec", Json::Num(rps)),
-        ]));
+        curve.points.push(Point::new(
+            g.node_count() as u64,
+            [
+                ("graph", Json::Str(name.into())),
+                ("edges", Json::Int(g.edge_count() as u64)),
+                ("rounds_per_sec", Json::Num(rps)),
+            ],
+        ));
     }
+    report.curves.push(curve);
     if c.is_test_mode() {
         println!("test mode: BENCH_engine_throughput.json left untouched");
     } else {
-        let path = write_summary(
-            "engine_throughput",
-            &Json::obj([
-                ("bench", Json::Str("engine_throughput".into())),
-                ("workloads", Json::Arr(rows)),
-            ]),
-        );
+        let path = report.write();
         println!("wrote {}", path.display());
     }
 

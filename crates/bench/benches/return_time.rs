@@ -7,10 +7,11 @@
 //! cycle search rather than a cover run, which is exactly the "per-cell
 //! cover/return samples" split the driver is generic over.
 //!
-//! Writes `BENCH_return_time.json`.
+//! Writes `BENCH_return_time.json` (schema `rotor-experiment/1`), one
+//! curve per ring size with `k` on the x axis.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rotor_bench::report::{write_summary, Json};
+use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
 use rotor_core::init::PointerInit;
 use rotor_core::limit::{self, CycleInfo};
 use rotor_core::placement::Placement;
@@ -38,34 +39,34 @@ fn bench(c: &mut Criterion) {
     let threads = thread_count();
     let infos = run_sharded(&cells, threads, |_, &(n, k)| cycle_cell(n, k));
 
-    let mut rows = Vec::new();
-    for (&(n, k), info) in cells.iter().zip(&infos) {
-        rows.push(Json::obj([
-            ("n", Json::Int(n as u64)),
-            ("k", Json::Int(k as u64)),
-            ("found", Json::Bool(info.is_some())),
-            (
-                "tail",
-                info.map(|i| Json::Int(i.tail)).unwrap_or(Json::Null),
-            ),
-            (
-                "period",
-                info.map(|i| Json::Int(i.period)).unwrap_or(Json::Null),
-            ),
-        ]));
+    let mut report = ExperimentReport::new("return_time", threads as u64)
+        .meta("max_steps", Json::Int(MAX_STEPS));
+    let mut ns: Vec<usize> = cells.iter().map(|&(n, _)| n).collect();
+    ns.dedup();
+    for n in ns {
+        let mut curve = Curve::new(format!("brent/n{n}")).meta("n", Json::Int(n as u64));
+        for (&(_, k), info) in cells.iter().zip(&infos).filter(|((m, _), _)| *m == n) {
+            curve.points.push(Point::new(
+                k as u64,
+                [
+                    ("found", Json::Bool(info.is_some())),
+                    (
+                        "tail",
+                        info.map(|i| Json::Int(i.tail)).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "period",
+                        info.map(|i| Json::Int(i.period)).unwrap_or(Json::Null),
+                    ),
+                ],
+            ));
+        }
+        report.curves.push(curve);
     }
     if c.is_test_mode() {
         println!("test mode: BENCH_return_time.json left untouched");
     } else {
-        let path = write_summary(
-            "return_time",
-            &Json::obj([
-                ("bench", Json::Str("return_time".into())),
-                ("max_steps", Json::Int(MAX_STEPS)),
-                ("threads", Json::Int(threads as u64)),
-                ("rows", Json::Arr(rows)),
-            ]),
-        );
+        let path = report.write();
         println!("wrote {}", path.display());
     }
 

@@ -5,23 +5,26 @@
 //! 3–4, between `Θ(n²/k²)` and `Θ(n²/k)`), plus the median over random
 //! placements.
 //!
-//! All three columns run through the sharded sweep driver (`rotor-sweep`),
-//! one `SweepGrid` per column; thread count comes from
+//! All three columns are ring-family [`ScenarioGrid`]s through the sharded
+//! sweep driver, one curve per column; the `Rotor` process kind resolves
+//! to the `RingRouter` fast path. Thread count comes from
 //! `ROTOR_SWEEP_THREADS` (default: available parallelism).
 //!
-//! Writes `BENCH_table1.json` with cover-time medians and ring rounds/sec
-//! per `k`.
+//! Writes `BENCH_table1.json` (schema `rotor-experiment/1`) with
+//! cover-time medians, regime fits and ring rounds/sec per `k`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rotor_bench::report::{write_summary, Json};
+use rotor_analysis::fit_regime;
+use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
 use rotor_sweep::{
-    run_cover_cell, run_sharded, thread_count, InitSpec, PlacementSpec, ProcessKind, SweepGrid,
+    run_scenario, run_sharded, thread_count, CoverSample, GraphFamily, InitSpec, PlacementSpec,
+    ProcessKind, ScenarioGrid,
 };
 
 const RANDOM_SEEDS: usize = 5;
 
-/// One sweep column: a grid over the shared `ks` under one
-/// placement/init, measured with the ring rotor engine.
+/// One sweep column: a ring grid over the shared `ks` under one
+/// placement/init, measured with the family-appropriate rotor engine.
 fn column(
     n: usize,
     ks: &[usize],
@@ -29,8 +32,9 @@ fn column(
     placement: PlacementSpec,
     init: InitSpec,
     threads: usize,
-) -> Vec<rotor_sweep::CoverSample> {
-    let grid = SweepGrid {
+) -> Vec<CoverSample> {
+    let grid = ScenarioGrid {
+        families: vec![GraphFamily::Ring],
         ns: vec![n],
         ks: ks.to_vec(),
         seed_count,
@@ -38,9 +42,9 @@ fn column(
         placement,
         init,
     };
-    let cells = grid.cells();
-    run_sharded(&cells, threads, |_, c| {
-        run_cover_cell(c, ProcessKind::RotorRing, u64::MAX)
+    let scenarios = grid.scenarios();
+    run_sharded(&scenarios, threads, |_, sc| {
+        run_scenario(sc, ProcessKind::Rotor, u64::MAX)
     })
 }
 
@@ -77,37 +81,61 @@ fn bench(c: &mut Criterion) {
         threads,
     );
 
-    let mut rows = Vec::new();
+    let mut report = ExperimentReport::new("table1", threads as u64)
+        .meta("n", Json::Int(n as u64))
+        .meta("random_seeds", Json::Int(RANDOM_SEEDS as u64));
+    let mut worst_curve = Curve::new(format!("worst/n{n}"))
+        .meta("placement", Json::Str("all_on_one".into()))
+        .meta("n", Json::Int(n as u64));
+    let mut best_curve = Curve::new(format!("best/n{n}"))
+        .meta("placement", Json::Str("equally_spaced".into()))
+        .meta("n", Json::Int(n as u64));
+    let mut random_curve = Curve::new(format!("random/n{n}"))
+        .meta("placement", Json::Str("random".into()))
+        .meta("n", Json::Int(n as u64));
+    let mut worst_points: Vec<(u64, u64)> = Vec::new();
+    let mut best_points: Vec<(u64, u64)> = Vec::new();
+    let mut random_points: Vec<(u64, u64)> = Vec::new();
     for (i, &k) in ks.iter().enumerate() {
         let w = &worst[i];
         let b = &best[i];
+        let w_cover = w.cover.expect("rotor-router always covers");
+        let b_cover = b.cover.expect("covers");
+        worst_points.push((k as u64, w_cover));
+        worst_curve.points.push(Point::new(
+            k as u64,
+            [
+                ("cover", Json::Int(w_cover)),
+                ("rounds_per_sec", Json::Num(w.rounds_per_sec())),
+            ],
+        ));
+        best_points.push((k as u64, b_cover));
+        best_curve
+            .points
+            .push(Point::new(k as u64, [("cover", Json::Int(b_cover))]));
         let mut random_covers: Vec<u64> = random[i * RANDOM_SEEDS..(i + 1) * RANDOM_SEEDS]
             .iter()
             .map(|s| s.cover.expect("rotor-router always covers"))
             .collect();
         let random_median =
             rotor_analysis::median(&mut random_covers).expect("non-empty seed range");
-        rows.push(Json::obj([
-            ("k", Json::Int(k as u64)),
-            ("worst_cover", Json::Int(w.cover.expect("covers"))),
-            ("best_cover", Json::Int(b.cover.expect("covers"))),
-            ("random_median_cover", Json::Int(random_median)),
-            ("rounds_per_sec_worst", Json::Num(w.rounds_per_sec())),
-        ]));
+        random_points.push((k as u64, random_median));
+        random_curve.points.push(Point::new(
+            k as u64,
+            [("median_cover", Json::Int(random_median))],
+        ));
     }
+    worst_curve.fit = fit_regime(&worst_points);
+    best_curve.fit = fit_regime(&best_points);
+    random_curve.fit = fit_regime(&random_points);
+    report.curves.push(worst_curve);
+    report.curves.push(best_curve);
+    report.curves.push(random_curve);
+
     if c.is_test_mode() {
         println!("test mode: BENCH_table1.json left untouched");
     } else {
-        let path = write_summary(
-            "table1",
-            &Json::obj([
-                ("bench", Json::Str("table1".into())),
-                ("n", Json::Int(n as u64)),
-                ("random_seeds", Json::Int(RANDOM_SEEDS as u64)),
-                ("threads", Json::Int(threads as u64)),
-                ("rows", Json::Arr(rows)),
-            ]),
-        );
+        let path = report.write();
         println!("wrote {}", path.display());
     }
 
@@ -116,7 +144,8 @@ fn bench(c: &mut Criterion) {
     // spawn/join would otherwise pollute every sample.
     let mut group = c.benchmark_group("table1");
     for &k in &[ks[0], *ks.last().expect("non-empty k range")] {
-        let cell_grid = SweepGrid {
+        let cell_grid = ScenarioGrid {
+            families: vec![GraphFamily::Ring],
             ns: vec![n],
             ks: vec![k],
             seed_count: 1,
@@ -124,10 +153,10 @@ fn bench(c: &mut Criterion) {
             placement: PlacementSpec::AllOnOne,
             init: InitSpec::TowardNearestAgent,
         };
-        let cell = cell_grid.cells()[0];
+        let sc = cell_grid.scenarios()[0];
         group.throughput(Throughput::Elements(1));
         group.bench_function(BenchmarkId::new("worst_cover", format!("n{n}_k{k}")), |b| {
-            b.iter(|| run_cover_cell(&cell, ProcessKind::RotorRing, u64::MAX));
+            b.iter(|| run_scenario(&sc, ProcessKind::Rotor, u64::MAX));
         });
     }
     group.finish();

@@ -1,17 +1,26 @@
 //! The paper's headline comparison, measured: multi-agent rotor-router
 //! versus `k` parallel random walks on the ring, both processes driven
-//! through the *same* sharded sweep grid (same (n, k, seed) cells, same
-//! random placements), à la the speed-up curves of Alon et al.
+//! through the *same* scenario grid (same (n, k, seed) points, same
+//! placements), à la the speed-up curves of Alon et al.
 //!
-//! Per (n, k) point the bench reports the paired cover-time medians with
-//! bootstrap 95% bands; per n it fits both curves with
-//! `rotor_analysis::fit_regime` (power law vs the `Θ(n²/log k)` log
-//! model) and emits the fitted speed-up exponent — the log-log slope of
-//! the walk/rotor median ratio in `k` (OLS slope difference of the two
-//! curves), positive when the deterministic rotor-router's advantage
-//! grows with `k`.
+//! Two placement columns per (n, k) point:
 //!
-//! Writes `BENCH_walk_vs_rotor.json`. Grid scaling:
+//! * `random` — independent uniform placements with random pointer init,
+//!   the typical-case pairing (both curves fit near-linear speed-up);
+//! * `all_on_one` — all agents on node 0 with pointers toward it, the
+//!   worst case of Theorems 1–2, so the `Θ(n²/log k)` rotor curve is
+//!   paired against the matching walk curve and `fit_regime`'s
+//!   LogSpeedup verdict is exercised on measured (not synthetic) data.
+//!
+//! Per curve the bench reports cover-time medians with bootstrap 95%
+//! bands and a `fit_regime` verdict (power law vs the `Θ(n²/log k)` log
+//! model); per (placement, n) it emits the fitted speed-up exponent —
+//! the OLS log-log slope of the walk/rotor median ratio in `k` —
+//! positive when the deterministic rotor-router's advantage grows with
+//! `k`.
+//!
+//! Writes `BENCH_walk_vs_rotor.json` (schema `rotor-experiment/1`).
+//! Grid scaling:
 //!
 //! * default: n ∈ {1024, 4096}, k ∈ {1, 2, …, 64}, 5 seeds;
 //! * `ROTOR_SWEEP_SMOKE=1`: n ∈ {128, 256}, 2 seeds — the CI smoke grid,
@@ -20,11 +29,11 @@
 //!   is left untouched, like every other bench target).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rotor_analysis::{bootstrap_median_band, fit_regime, ConfidenceBand, RegimeFit};
-use rotor_bench::report::{write_summary, Json};
+use rotor_analysis::{bootstrap_median_band, fit_regime};
+use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
 use rotor_sweep::{
-    run_cover_cell, run_sharded, thread_count, CoverSample, InitSpec, PlacementSpec, ProcessKind,
-    SweepGrid,
+    run_scenario, run_sharded, thread_count, CoverSample, GraphFamily, InitSpec, PlacementSpec,
+    ProcessKind, ScenarioGrid,
 };
 
 const SMOKE_ENV: &str = "ROTOR_SWEEP_SMOKE";
@@ -57,6 +66,18 @@ fn scale(test_mode: bool) -> Scale {
     }
 }
 
+/// The two paired placement columns: label, placement, pointer init.
+fn columns() -> [(&'static str, PlacementSpec, InitSpec); 2] {
+    [
+        ("random", PlacementSpec::Random, InitSpec::Random),
+        (
+            "all_on_one",
+            PlacementSpec::AllOnOne,
+            InitSpec::TowardNearestAgent,
+        ),
+    ]
+}
+
 /// Generous per-cell budget: ring random-walk cover concentrates around
 /// `n²/2`, rotor cover is at most `O(n²)`; 64·n² never truncates in
 /// practice but bounds a pathological cell.
@@ -64,136 +85,122 @@ fn max_rounds(n: usize) -> u64 {
     64 * (n as u64) * (n as u64)
 }
 
-fn band_json(b: Option<ConfidenceBand>) -> (Json, Json) {
-    match b {
-        Some(b) => (Json::Int(b.lo), Json::Int(b.hi)),
-        None => (Json::Null, Json::Null),
-    }
-}
-
-fn fit_json(fit: &Option<RegimeFit>, key_prefix: &str) -> Vec<(String, Json)> {
-    match fit {
-        Some(f) => vec![
-            (format!("{key_prefix}_exponent"), Json::Num(f.exponent)),
-            (
-                format!("{key_prefix}_regime"),
-                Json::Str(format!("{:?}", f.regime)),
-            ),
-        ],
-        None => vec![
-            (format!("{key_prefix}_exponent"), Json::Null),
-            (format!("{key_prefix}_regime"), Json::Null),
-        ],
+fn band_fields(covers: &[u64], seed: u64) -> [(&'static str, Json); 2] {
+    match bootstrap_median_band(covers, BOOTSTRAP_RESAMPLES, CONFIDENCE, seed) {
+        Some(b) => [("band_lo", Json::Int(b.lo)), ("band_hi", Json::Int(b.hi))],
+        None => [("band_lo", Json::Null), ("band_hi", Json::Null)],
     }
 }
 
 fn bench(c: &mut Criterion) {
     let s = scale(c.is_test_mode());
     let threads = thread_count();
-    let grid = SweepGrid {
-        ns: s.ns.clone(),
-        ks: s.ks.clone(),
-        seed_count: s.seed_count,
-        base_seed: 0xA10E_5EED,
-        placement: PlacementSpec::Random,
-        init: InitSpec::Random,
-    };
-    let cells = grid.cells();
-    let rotor: Vec<CoverSample> = run_sharded(&cells, threads, |_, cell| {
-        run_cover_cell(cell, ProcessKind::RotorRing, max_rounds(cell.n))
-    });
-    let walks: Vec<CoverSample> = run_sharded(&cells, threads, |_, cell| {
-        run_cover_cell(cell, ProcessKind::RandomWalk, max_rounds(cell.n))
-    });
+    let mut report = ExperimentReport::new("walk_vs_rotor", threads as u64)
+        .meta("seed_count", Json::Int(s.seed_count as u64))
+        .meta(
+            "ks",
+            Json::Arr(s.ks.iter().map(|&k| Json::Int(k as u64)).collect()),
+        );
+    // Per (placement, n): the fitted walk-vs-rotor speed-up exponent.
+    let mut speedups: Vec<Json> = Vec::new();
 
-    let covers_at = |samples: &[CoverSample], ni: usize, ki: usize| -> Vec<u64> {
-        let base = (ni * s.ks.len() + ki) * s.seed_count;
-        samples[base..base + s.seed_count]
-            .iter()
-            .filter_map(|x| x.cover)
-            .collect()
-    };
+    for (col, placement, init) in columns() {
+        let grid = ScenarioGrid {
+            families: vec![GraphFamily::Ring],
+            ns: s.ns.clone(),
+            ks: s.ks.clone(),
+            seed_count: s.seed_count,
+            base_seed: 0xA10E_5EED,
+            placement,
+            init,
+        };
+        let scenarios = grid.scenarios();
+        let rotor: Vec<CoverSample> = run_sharded(&scenarios, threads, |_, sc| {
+            run_scenario(sc, ProcessKind::Rotor, max_rounds(sc.n))
+        });
+        let walks: Vec<CoverSample> = run_sharded(&scenarios, threads, |_, sc| {
+            run_scenario(sc, ProcessKind::RandomWalk, max_rounds(sc.n))
+        });
 
-    let mut rows = Vec::new();
-    let mut fits = Vec::new();
-    for (ni, &n) in s.ns.iter().enumerate() {
-        let mut rotor_curve: Vec<(u64, u64)> = Vec::new();
-        let mut walk_curve: Vec<(u64, u64)> = Vec::new();
-        for (ki, &k) in s.ks.iter().enumerate() {
-            let mut rc = covers_at(&rotor, ni, ki);
-            let mut wc = covers_at(&walks, ni, ki);
-            let r_band =
-                bootstrap_median_band(&rc, BOOTSTRAP_RESAMPLES, CONFIDENCE, 0xB00 + k as u64);
-            let w_band =
-                bootstrap_median_band(&wc, BOOTSTRAP_RESAMPLES, CONFIDENCE, 0xBA5E + k as u64);
-            let r_med = rotor_analysis::median(&mut rc);
-            let w_med = rotor_analysis::median(&mut wc);
-            if let (Some(r), Some(w)) = (r_med, w_med) {
-                rotor_curve.push((k as u64, r));
-                walk_curve.push((k as u64, w));
-            }
-            let (r_lo, r_hi) = band_json(r_band);
-            let (w_lo, w_hi) = band_json(w_band);
-            rows.push(Json::obj([
-                ("n", Json::Int(n as u64)),
-                ("k", Json::Int(k as u64)),
+        let covers_at = |samples: &[CoverSample], ni: usize, ki: usize| -> Vec<u64> {
+            samples[grid.point_range(0, ni, ki)]
+                .iter()
+                .filter_map(|x| x.cover)
+                .collect()
+        };
+
+        for (ni, &n) in s.ns.iter().enumerate() {
+            let mut rotor_curve = Curve::new(format!("rotor/{col}/n{n}"))
+                .meta("process", Json::Str("rotor".into()))
+                .meta("placement", Json::Str(col.into()))
+                .meta("n", Json::Int(n as u64));
+            let mut walk_curve = Curve::new(format!("walk/{col}/n{n}"))
+                .meta("process", Json::Str("walk".into()))
+                .meta("placement", Json::Str(col.into()))
+                .meta("n", Json::Int(n as u64));
+            let mut rotor_points: Vec<(u64, u64)> = Vec::new();
+            let mut walk_points: Vec<(u64, u64)> = Vec::new();
+            for (ki, &k) in s.ks.iter().enumerate() {
+                let mut rc = covers_at(&rotor, ni, ki);
+                let mut wc = covers_at(&walks, ni, ki);
+                // Bands before medians: median() permutes its slice via
+                // select_nth_unstable (an order std leaves unspecified),
+                // and the bootstrap resamples by index — resampling the
+                // original cell order keeps the bands reproducible
+                // across Rust versions.
+                let r_band = band_fields(&rc, 0xB00 + k as u64);
+                let w_band = band_fields(&wc, 0xBA5E + k as u64);
+                let r_med = rotor_analysis::median(&mut rc);
+                let w_med = rotor_analysis::median(&mut wc);
+                if let (Some(r), Some(w)) = (r_med, w_med) {
+                    rotor_points.push((k as u64, r));
+                    walk_points.push((k as u64, w));
+                }
                 // Covered counts make a timed-out (dropped) cell visible:
                 // a median over fewer than seed_count samples is biased
                 // toward the cells that happened to cover in budget.
-                ("rotor_covered", Json::Int(rc.len() as u64)),
-                ("walk_covered", Json::Int(wc.len() as u64)),
-                (
-                    "rotor_median_cover",
-                    r_med.map(Json::Int).unwrap_or(Json::Null),
-                ),
-                (
-                    "walk_median_cover",
-                    w_med.map(Json::Int).unwrap_or(Json::Null),
-                ),
-                ("rotor_band_lo", r_lo),
-                ("rotor_band_hi", r_hi),
-                ("walk_band_lo", w_lo),
-                ("walk_band_hi", w_hi),
-                (
+                let mut r_fields = vec![
+                    ("covered", Json::Int(rc.len() as u64)),
+                    ("median_cover", r_med.map(Json::Int).unwrap_or(Json::Null)),
+                ];
+                r_fields.extend(r_band);
+                rotor_curve.points.push(Point::new(k as u64, r_fields));
+                let mut w_fields = vec![
+                    ("covered", Json::Int(wc.len() as u64)),
+                    ("median_cover", w_med.map(Json::Int).unwrap_or(Json::Null)),
+                ];
+                w_fields.extend(w_band);
+                w_fields.push((
                     "walk_over_rotor",
                     match (r_med, w_med) {
                         (Some(r), Some(w)) if r > 0 => Json::Num(w as f64 / r as f64),
                         _ => Json::Null,
                     },
-                ),
+                ));
+                walk_curve.points.push(Point::new(k as u64, w_fields));
+            }
+            rotor_curve.fit = fit_regime(&rotor_points);
+            walk_curve.fit = fit_regime(&walk_points);
+            // Exponent of the walk/rotor ratio curve in k: the OLS
+            // log-log slope of the ratio equals the difference of the two
+            // curves' slopes over the shared k support.
+            let speedup_exponent = match (&rotor_curve.fit, &walk_curve.fit) {
+                (Some(r), Some(w)) => Json::Num(w.exponent - r.exponent),
+                _ => Json::Null,
+            };
+            speedups.push(Json::obj([
+                ("placement", Json::Str(col.into())),
+                ("n", Json::Int(n as u64)),
+                ("speedup_exponent", speedup_exponent),
             ]));
+            report.curves.push(rotor_curve);
+            report.curves.push(walk_curve);
         }
-        let rotor_fit = fit_regime(&rotor_curve);
-        let walk_fit = fit_regime(&walk_curve);
-        // Exponent of the walk/rotor ratio curve in k: the OLS log-log
-        // slope of the ratio equals the difference of the two curves'
-        // slopes over the shared k support.
-        let speedup_exponent = match (&rotor_fit, &walk_fit) {
-            (Some(r), Some(w)) => Json::Num(w.exponent - r.exponent),
-            _ => Json::Null,
-        };
-        let mut fields: Vec<(String, Json)> = vec![("n".into(), Json::Int(n as u64))];
-        fields.extend(fit_json(&rotor_fit, "rotor"));
-        fields.extend(fit_json(&walk_fit, "walk"));
-        fields.push(("speedup_exponent".into(), speedup_exponent));
-        fits.push(Json::Obj(fields));
     }
+    report = report.meta("speedups", Json::Arr(speedups));
 
     if s.write {
-        let path = write_summary(
-            "walk_vs_rotor",
-            &Json::obj([
-                ("bench", Json::Str("walk_vs_rotor".into())),
-                ("threads", Json::Int(threads as u64)),
-                ("seed_count", Json::Int(s.seed_count as u64)),
-                (
-                    "ks",
-                    Json::Arr(s.ks.iter().map(|&k| Json::Int(k as u64)).collect()),
-                ),
-                ("rows", Json::Arr(rows)),
-                ("fits", Json::Arr(fits)),
-            ]),
-        );
+        let path = report.write();
         println!("wrote {}", path.display());
     } else {
         println!("test mode: BENCH_walk_vs_rotor.json left untouched");
@@ -203,7 +210,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("walk_vs_rotor");
     let n = *s.ns.first().expect("non-empty n range");
     let k = s.ks[s.ks.len() / 2];
-    let cell_grid = SweepGrid {
+    let cell_grid = ScenarioGrid {
+        families: vec![GraphFamily::Ring],
         ns: vec![n],
         ks: vec![k],
         seed_count: 1,
@@ -211,13 +219,13 @@ fn bench(c: &mut Criterion) {
         placement: PlacementSpec::Random,
         init: InitSpec::Random,
     };
-    let cell = cell_grid.cells()[0];
+    let sc = cell_grid.scenarios()[0];
     for (kind, label) in [
-        (ProcessKind::RotorRing, "rotor"),
+        (ProcessKind::Rotor, "rotor"),
         (ProcessKind::RandomWalk, "walk"),
     ] {
         group.bench_function(BenchmarkId::new(label, format!("n{n}_k{k}")), |b| {
-            b.iter(|| run_cover_cell(&cell, kind, max_rounds(n)));
+            b.iter(|| run_scenario(&sc, kind, max_rounds(n)));
         });
     }
     group.finish();

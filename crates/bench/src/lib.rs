@@ -4,168 +4,15 @@
 //!
 //! The bench targets under `benches/` (registered with `harness = false`
 //! and driven by criterion) do two things per workload: time it for the
-//! interactive report, and write a machine-readable summary to
+//! interactive report, and write a machine-readable
+//! [`ExperimentReport`](rotor_analysis::report::ExperimentReport) to
 //! `BENCH_<name>.json` at the repository root so that successive PRs can
-//! compare against this PR's baseline. This crate holds the shared pieces:
-//! a dependency-free JSON value builder ([`report::Json`] — serde is not
-//! available in the offline build environment) and the canonical output
-//! path/writer ([`report::write_summary`]).
+//! compare against this PR's baseline. The report schema and the
+//! dependency-free JSON builder live in [`rotor_analysis::report`] (shared
+//! with non-bench tooling); this crate re-exports that module so bench
+//! sources keep their `rotor_bench::report::…` paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod report {
-    //! Machine-readable `BENCH_<name>.json` emission.
-
-    use std::path::{Path, PathBuf};
-
-    /// A JSON value, built by hand (no serde in the offline environment).
-    #[derive(Clone, Debug)]
-    pub enum Json {
-        /// An integer (emitted without a decimal point).
-        Int(u64),
-        /// A float (emitted with enough precision for round-tripping).
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// A boolean.
-        Bool(bool),
-        /// `null`.
-        Null,
-        /// An array.
-        Arr(Vec<Json>),
-        /// An object with ordered keys.
-        Obj(Vec<(String, Json)>),
-    }
-
-    impl Json {
-        /// Convenience constructor for an object.
-        pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-            Json::Obj(
-                fields
-                    .into_iter()
-                    .map(|(k, v)| (k.to_string(), v))
-                    .collect(),
-            )
-        }
-
-        /// Serialises the value.
-        pub fn render(&self) -> String {
-            let mut out = String::new();
-            self.render_into(&mut out);
-            out
-        }
-
-        fn render_into(&self, out: &mut String) {
-            match self {
-                Json::Int(i) => out.push_str(&i.to_string()),
-                Json::Num(x) => {
-                    if x.is_finite() {
-                        out.push_str(&format!("{x}"));
-                    } else {
-                        out.push_str("null");
-                    }
-                }
-                Json::Str(s) => {
-                    out.push('"');
-                    for ch in s.chars() {
-                        match ch {
-                            '"' => out.push_str("\\\""),
-                            '\\' => out.push_str("\\\\"),
-                            '\n' => out.push_str("\\n"),
-                            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                            c => out.push(c),
-                        }
-                    }
-                    out.push('"');
-                }
-                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-                Json::Null => out.push_str("null"),
-                Json::Arr(items) => {
-                    out.push('[');
-                    for (i, item) in items.iter().enumerate() {
-                        if i > 0 {
-                            out.push(',');
-                        }
-                        item.render_into(out);
-                    }
-                    out.push(']');
-                }
-                Json::Obj(fields) => {
-                    out.push('{');
-                    for (i, (k, v)) in fields.iter().enumerate() {
-                        if i > 0 {
-                            out.push(',');
-                        }
-                        Json::Str(k.clone()).render_into(out);
-                        out.push(':');
-                        v.render_into(out);
-                    }
-                    out.push('}');
-                }
-            }
-        }
-    }
-
-    /// The canonical output path for a bench summary: `BENCH_<name>.json`
-    /// at the repository root (two levels above this crate's manifest).
-    pub fn bench_json_path(name: &str) -> PathBuf {
-        Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("..")
-            .join("..")
-            .join(format!("BENCH_{name}.json"))
-    }
-
-    /// Writes the summary and returns the path written to.
-    ///
-    /// # Panics
-    ///
-    /// Panics on I/O errors — a bench run that cannot record its summary
-    /// should fail loudly, not silently.
-    pub fn write_summary(name: &str, value: &Json) -> PathBuf {
-        let path = bench_json_path(name);
-        let mut body = value.render();
-        body.push('\n');
-        std::fs::write(&path, body)
-            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-        path
-    }
-
-    #[cfg(test)]
-    mod tests {
-        use super::*;
-
-        #[test]
-        fn renders_nested_structures() {
-            let v = Json::obj([
-                ("name", Json::Str("table1".into())),
-                ("n", Json::Int(1024)),
-                ("ok", Json::Bool(true)),
-                ("rate", Json::Num(1.5)),
-                ("none", Json::Null),
-                ("rows", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
-            ]);
-            assert_eq!(
-                v.render(),
-                r#"{"name":"table1","n":1024,"ok":true,"rate":1.5,"none":null,"rows":[1,2]}"#
-            );
-        }
-
-        #[test]
-        fn escapes_strings() {
-            let v = Json::Str("a\"b\\c\nd".into());
-            assert_eq!(v.render(), r#""a\"b\\c\nd""#);
-        }
-
-        #[test]
-        fn nan_becomes_null() {
-            assert_eq!(Json::Num(f64::NAN).render(), "null");
-        }
-
-        #[test]
-        fn path_is_repo_root() {
-            let p = bench_json_path("x");
-            assert!(p.ends_with("../../BENCH_x.json"), "{}", p.display());
-        }
-    }
-}
+pub use rotor_analysis::report;

@@ -12,6 +12,7 @@
 //! tracks online and exposes the classification plus the current domain
 //! (visited-segment) structure used by the §2.2 arguments.
 
+use crate::process::{CoverProcess, Observer};
 use crate::ring::{RingRouter, VisitRecord};
 
 /// The §2.2 classification of the most recent visit to a node.
@@ -126,6 +127,99 @@ pub fn border_count(router: &RingRouter) -> u32 {
         .count() as u32
 }
 
+/// One sampled observation of the domain structure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DomainSample {
+    /// Round the sample was taken at (0 = initial configuration).
+    pub round: u64,
+    /// Nodes visited so far.
+    pub visited: usize,
+    /// Maximal contiguous visited ring segments.
+    pub domains: u32,
+    /// Visited nodes adjacent (cyclically) to an unvisited node.
+    pub borders: u32,
+}
+
+/// An [`Observer`] sampling the §2.2 domain/border structure every
+/// `stride` rounds (plus the initial configuration and the covering
+/// round), on *any* [`CoverProcess`] backend.
+///
+/// Domains are counted in the cyclic index space `0..node_count()` — the
+/// ring topology of the paper's analysis — using only the
+/// [`CoverProcess::is_node_visited`] surface, so the sampler attaches
+/// equally to the ring engine, the general engine and the random-walk
+/// baseline without forking any drive loop. Each sample costs one `O(n)`
+/// scan; pick the stride accordingly.
+///
+/// ```
+/// use rotor_core::domains::DomainSampler;
+/// use rotor_core::{init::PointerInit, placement::Placement, CoverProcess, RingRouter};
+///
+/// let starts = Placement::EquallySpaced { offset: 0 }.positions(64, 4);
+/// let dirs = PointerInit::TowardNearestAgent.ring_directions(64, &starts);
+/// let mut r = RingRouter::new(64, &starts, &dirs);
+/// let mut sampler = DomainSampler::every(8);
+/// r.run_observed(1_000_000, &mut sampler);
+/// let last = sampler.samples.last().unwrap();
+/// assert_eq!((last.domains, last.borders), (1, 0), "covered ring: one domain");
+/// ```
+#[derive(Clone, Debug)]
+pub struct DomainSampler {
+    stride: u64,
+    /// Samples in round order.
+    pub samples: Vec<DomainSample>,
+}
+
+impl DomainSampler {
+    /// A sampler recording every `stride`-th round (and always round 0 and
+    /// the covering round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn every(stride: u64) -> Self {
+        assert!(stride > 0, "sampling stride must be positive");
+        DomainSampler {
+            stride,
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl<P: CoverProcess + ?Sized> Observer<P> for DomainSampler {
+    fn observe(&mut self, p: &P) {
+        let round = p.round();
+        let at_cover = p.cover_round() == Some(round);
+        if !round.is_multiple_of(self.stride) && !at_cover {
+            return;
+        }
+        let n = p.node_count();
+        let mut domains = 0u32;
+        let mut borders = 0u32;
+        for v in 0..n {
+            if !p.is_node_visited(v) {
+                continue;
+            }
+            let prev = p.is_node_visited(if v == 0 { n - 1 } else { v - 1 });
+            let next = p.is_node_visited(if v + 1 == n { 0 } else { v + 1 });
+            domains += u32::from(!prev);
+            borders += u32::from(!prev || !next);
+        }
+        // A fully covered ring is a single cyclic domain with no
+        // visited/unvisited transition for the scan to count.
+        let visited = p.visited_count();
+        if visited == n {
+            domains = 1;
+        }
+        self.samples.push(DomainSample {
+            round,
+            visited,
+            domains,
+            borders,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +294,63 @@ mod tests {
         assert!(d[0].contains(10, 1));
         assert!(!d[0].contains(10, 2));
         assert_eq!(border_count(&r), 2);
+    }
+
+    #[test]
+    fn sampler_agrees_with_full_scan_on_ring_router() {
+        let n = 48;
+        let starts = Placement::Random(5).positions(n, 4);
+        let dirs = PointerInit::Random(9).ring_directions(n, &starts);
+        let mut r = RingRouter::new(n, &starts, &dirs);
+        let mut sampler = DomainSampler::every(1);
+        // Drive manually so each sample can be checked against the
+        // reference scan of the same configuration.
+        use crate::process::Observer;
+        sampler.observe(&r);
+        for _ in 0..300 {
+            r.step();
+            sampler.observe(&r);
+        }
+        assert_eq!(sampler.samples.len(), 301);
+        // Re-run and compare the final state (cheap spot check of the
+        // last sample plus monotone visited counts along the way).
+        let last = *sampler.samples.last().unwrap();
+        assert_eq!(last.domains as usize, visited_domains(&r).len());
+        assert_eq!(last.borders, border_count(&r));
+        assert!(sampler
+            .samples
+            .windows(2)
+            .all(|w| w[0].visited <= w[1].visited));
+    }
+
+    #[test]
+    fn sampler_attaches_to_every_backend() {
+        use crate::process::CoverProcess;
+        use crate::Engine;
+        use rotor_graph::{builders, NodeId};
+        let n = 32;
+
+        let starts = Placement::AllOnOne(0).positions(n, 2);
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+        let mut ring = RingRouter::new(n, &starts, &dirs);
+        let mut ring_sampler = DomainSampler::every(4);
+        ring.run_observed(1_000_000, &mut ring_sampler).unwrap();
+
+        let g = builders::ring(n);
+        let ids: Vec<NodeId> = starts.iter().map(|&s| NodeId::new(s)).collect();
+        let ptrs: Vec<u32> = dirs.iter().map(|&d| u32::from(d)).collect();
+        let mut eng = Engine::with_pointers(&g, &ids, ptrs);
+        let mut eng_sampler = DomainSampler::every(4);
+        eng.run_observed(1_000_000, &mut eng_sampler).unwrap();
+
+        // Identical processes: identical sample traces.
+        assert_eq!(ring_sampler.samples, eng_sampler.samples);
+        let last = ring_sampler.samples.last().unwrap();
+        assert_eq!((last.domains, last.borders), (1, 0));
+        // The stride is honoured except at the covering round.
+        for s in &ring_sampler.samples[..ring_sampler.samples.len() - 1] {
+            assert_eq!(s.round % 4, 0);
+        }
     }
 
     #[test]

@@ -379,6 +379,10 @@ impl crate::CoverProcess for Engine<'_> {
     fn visited_count(&self) -> usize {
         self.g.node_count() - self.unvisited
     }
+
+    fn is_node_visited(&self, node: usize) -> bool {
+        self.visited.contains(node)
+    }
 }
 
 #[cfg(test)]

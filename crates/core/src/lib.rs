@@ -39,7 +39,12 @@
 //!   Yanovski et al. baseline behaviour).
 //! * [`CoverProcess`] — the common trait over synchronous exploration
 //!   processes (both engines here plus the random-walk baseline of
-//!   `rotor-walks`) that the `rotor-sweep` sharded driver is generic over.
+//!   `rotor-walks`) that the `rotor-sweep` sharded driver is generic over,
+//!   with a per-round [`Observer`] hook
+//!   ([`run_observed`](CoverProcess::run_observed)) for attaching samplers
+//!   to any backend's drive loop.
+//! * [`rng`] — splitmix64 seed derivation and the named random-stream
+//!   constants every seeded consumer in the workspace derives from.
 //!
 //! ## Quick example
 //!
@@ -70,9 +75,10 @@ pub mod lockin;
 pub mod placement;
 mod process;
 mod ring;
+pub mod rng;
 
 pub use engine::{Engine, EngineState};
-pub use process::CoverProcess;
+pub use process::{CoverProcess, Observer};
 pub use ring::{RingRouter, RingState, VisitRecord};
 
 pub use rotor_graph::{NodeId, PortGraph};

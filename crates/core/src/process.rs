@@ -13,6 +13,41 @@
 //! ring-specialised [`RingRouter`](crate::RingRouter), or the `k`
 //! independent random walkers of `rotor-walks`.
 
+/// A per-round probe attached to a [`CoverProcess`] drive loop.
+///
+/// [`CoverProcess::run_observed`] calls [`observe`](Observer::observe) once
+/// on the initial configuration (round 0) and once after every completed
+/// round, handing the observer a shared reference to the process — so the
+/// §2.2 domain/border samplers ([`crate::domains::DomainSampler`]), return-
+/// time probes and future instrumentation attach to *any* backend without
+/// forking the drive loop.
+///
+/// Any `FnMut(&P)` closure is an observer:
+///
+/// ```
+/// use rotor_core::{init::PointerInit, placement::Placement, CoverProcess, RingRouter};
+///
+/// let starts = Placement::AllOnOne(0).positions(32, 2);
+/// let dirs = PointerInit::TowardNearestAgent.ring_directions(32, &starts);
+/// let mut r = RingRouter::new(32, &starts, &dirs);
+/// let mut trace = Vec::new();
+/// r.run_observed(1_000_000, &mut |p: &RingRouter| {
+///     trace.push(CoverProcess::visited_count(p))
+/// });
+/// assert_eq!(*trace.last().unwrap(), 32, "last sample sees full cover");
+/// assert!(trace.windows(2).all(|w| w[0] <= w[1]), "cover only grows");
+/// ```
+pub trait Observer<P: CoverProcess + ?Sized> {
+    /// Called on the initial configuration and after every round.
+    fn observe(&mut self, process: &P);
+}
+
+impl<P: CoverProcess + ?Sized, F: FnMut(&P)> Observer<P> for F {
+    fn observe(&mut self, process: &P) {
+        self(process)
+    }
+}
+
 /// A synchronous process on a finite node set that eventually visits every
 /// node.
 ///
@@ -49,12 +84,31 @@ pub trait CoverProcess {
     /// Number of nodes visited at least once (initial placements count).
     fn visited_count(&self) -> usize;
 
+    /// Whether node `node` (an index in `0..node_count()`) has ever been
+    /// visited, initial placements included.
+    fn is_node_visited(&self, node: usize) -> bool;
+
     /// Runs until every node has been visited, or gives up after
     /// `max_rounds` total rounds. Returns the cover round, or `None` on
     /// timeout.
     fn run_until_covered(&mut self, max_rounds: u64) -> Option<u64> {
         while self.cover_round().is_none() && self.round() < max_rounds {
             self.step();
+        }
+        self.cover_round()
+    }
+
+    /// [`run_until_covered`](Self::run_until_covered) with a per-round
+    /// [`Observer`]: `observer` sees the initial configuration and every
+    /// round's result, including the covering round's.
+    fn run_observed(&mut self, max_rounds: u64, observer: &mut impl Observer<Self>) -> Option<u64>
+    where
+        Self: Sized,
+    {
+        observer.observe(self);
+        while self.cover_round().is_none() && self.round() < max_rounds {
+            self.step();
+            observer.observe(self);
         }
         self.cover_round()
     }
@@ -102,6 +156,38 @@ mod tests {
         let ce = cover_generic(&mut e, u64::MAX);
         let cr = cover_generic(&mut r, u64::MAX);
         assert_eq!(ce, cr, "both engines agree through the trait");
+    }
+
+    #[test]
+    fn run_observed_sees_every_round_and_matches_unobserved() {
+        let n = 48;
+        let starts = Placement::AllOnOne(0).positions(n, 2);
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+        let mut observed = RingRouter::new(n, &starts, &dirs);
+        let mut plain = observed.clone();
+        let mut rounds_seen = Vec::new();
+        let cover = observed.run_observed(1_000_000, &mut |p: &RingRouter| {
+            rounds_seen.push(CoverProcess::round(p));
+        });
+        assert_eq!(cover, plain.run_until_covered(1_000_000));
+        let c = cover.unwrap();
+        // one initial observation plus one per round, in order
+        assert_eq!(rounds_seen.len() as u64, c + 1);
+        assert_eq!(rounds_seen.first(), Some(&0));
+        assert_eq!(rounds_seen.last(), Some(&c));
+    }
+
+    #[test]
+    fn is_node_visited_matches_visited_count() {
+        let n = 32;
+        let g = builders::ring(n);
+        use rotor_graph::NodeId;
+        let mut e = Engine::new(&g, &[NodeId::new(0)], &crate::init::PointerInit::Uniform(0));
+        let _ = e.run_until_covered(50);
+        let p: &dyn CoverProcess = &e;
+        let scanned = (0..n).filter(|&v| p.is_node_visited(v)).count();
+        assert_eq!(scanned, p.visited_count());
+        assert!(p.is_node_visited(0));
     }
 
     #[test]

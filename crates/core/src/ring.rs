@@ -473,6 +473,10 @@ impl crate::CoverProcess for RingRouter {
     fn visited_count(&self) -> usize {
         (self.n - self.unvisited) as usize
     }
+
+    fn is_node_visited(&self, node: usize) -> bool {
+        self.visited.contains(node)
+    }
 }
 
 #[cfg(test)]

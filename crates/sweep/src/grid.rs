@@ -1,5 +1,14 @@
-//! The sweep cell lattice: grids of (n, k, seed, placement, pointer-init)
-//! with deterministic per-cell seed derivation.
+//! The legacy ring-only sweep lattice: grids of (n, k, seed, placement,
+//! pointer-init) with deterministic per-cell seed derivation.
+//!
+//! **Migration note:** [`Cell`]/[`SweepGrid`] predate the scenario layer
+//! and are hard-wired to the ring. New experiments should use
+//! [`Scenario`](crate::scenario::Scenario) /
+//! [`ScenarioGrid`](crate::scenario::ScenarioGrid), which add the graph-
+//! family axis; a single-family `Ring` scenario grid enumerates the exact
+//! same seeds as the equivalent `SweepGrid` (pinned by tests), so results
+//! are bit-identical across the migration. This module stays as the thin
+//! compatibility surface those pins compare against.
 //!
 //! Reproducibility rule: a cell's measurement may depend only on the
 //! cell's own fields — never on which thread ran it or in which order. All
@@ -10,17 +19,8 @@
 
 use rotor_core::init::PointerInit;
 use rotor_core::placement::Placement;
-
-/// Splitmix64 — the standard 64-bit seed mixer (public domain, Vigna).
-/// Used to give every cell an independent, well-separated RNG seed from
-/// `(base_seed, cell index)`.
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E3779B97F4A7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
+pub use rotor_core::rng::splitmix64;
+use rotor_core::rng::{stream, STREAM_POINTER_INIT};
 
 /// Agent placement strategy for a cell (the seed-bearing variants draw
 /// from the cell seed, unlike [`Placement`] which carries its own).
@@ -67,7 +67,7 @@ impl InitSpec {
             InitSpec::AwayFromNearestAgent => PointerInit::AwayFromNearestAgent,
             InitSpec::Uniform(p) => PointerInit::Uniform(p),
             // Separate the init's random stream from the placement's.
-            InitSpec::Random => PointerInit::Random(splitmix64(cell_seed ^ 0x1217)),
+            InitSpec::Random => PointerInit::Random(stream(cell_seed, STREAM_POINTER_INIT)),
         }
     }
 }

@@ -14,26 +14,31 @@
 //! cells to [`run_sharded`], and aggregate the [`CoverSample`]s — so
 //! scaling `n` to 10⁵–10⁶ is a thread-count question, not a rewrite.
 //!
-//! * [`grid`] — the cell lattice: deterministic enumeration and per-cell
-//!   seed derivation (splitmix64), placement/pointer-init specs.
+//! * [`scenario`] — the scenario-first surface: [`GraphFamily`],
+//!   [`Scenario`] and [`ScenarioGrid`], the (family, n, k, seed) lattice
+//!   every new experiment enumerates.
+//! * [`grid`] — the legacy ring-only cell lattice ([`Cell`] /
+//!   [`SweepGrid`]), kept as the compatibility surface the scenario
+//!   layer's bit-identity pins compare against.
 //! * [`driver`] — [`run_sharded`]: a work-stealing `std::thread::scope`
 //!   fan-out over any `Sync` cell type, deterministic output order, thread
 //!   count from the `ROTOR_SWEEP_THREADS` environment variable.
-//! * [`runners`] — per-cell cover measurement for each
-//!   [`CoverProcess`](rotor_core::CoverProcess) backend: the ring-
-//!   specialised rotor engine, the general-graph engine, and the parallel
-//!   random walk.
+//! * [`runners`] — per-scenario cover measurement for each
+//!   [`CoverProcess`](rotor_core::CoverProcess) backend, dispatching over
+//!   `(GraphFamily, ProcessKind)` with the
+//!   [`RingRouter`](rotor_core::RingRouter) fast path preserved on the
+//!   ring family.
 //!
-//! ## Example: one grid, two processes
+//! ## Example: one grid, two families, two processes
 //!
 //! ```
 //! use rotor_sweep::{
-//!     driver::run_sharded,
-//!     grid::{InitSpec, PlacementSpec, SweepGrid},
-//!     runners::{run_cover_cell, ProcessKind},
+//!     run_scenario, run_sharded, GraphFamily, InitSpec, PlacementSpec, ProcessKind,
+//!     ScenarioGrid,
 //! };
 //!
-//! let grid = SweepGrid {
+//! let grid = ScenarioGrid {
+//!     families: vec![GraphFamily::Ring, GraphFamily::Hypercube { dim: 6 }],
 //!     ns: vec![64],
 //!     ks: vec![1, 2, 4],
 //!     seed_count: 3,
@@ -41,12 +46,12 @@
 //!     placement: PlacementSpec::Random,
 //!     init: InitSpec::Random,
 //! };
-//! let cells = grid.cells();
-//! let rotor = run_sharded(&cells, 2, |_, c| {
-//!     run_cover_cell(c, ProcessKind::RotorRing, 1 << 24)
+//! let scenarios = grid.scenarios();
+//! let rotor = run_sharded(&scenarios, 2, |_, s| {
+//!     run_scenario(s, ProcessKind::Rotor, 1 << 24)
 //! });
-//! let walks = run_sharded(&cells, 2, |_, c| {
-//!     run_cover_cell(c, ProcessKind::RandomWalk, 1 << 24)
+//! let walks = run_sharded(&scenarios, 2, |_, s| {
+//!     run_scenario(s, ProcessKind::RandomWalk, 1 << 24)
 //! });
 //! assert_eq!(rotor.len(), walks.len());
 //! assert!(rotor.iter().zip(&walks).all(|(r, w)| (r.n, r.k, r.seed) == (w.n, w.k, w.seed)));
@@ -58,7 +63,9 @@
 pub mod driver;
 pub mod grid;
 pub mod runners;
+pub mod scenario;
 
 pub use driver::{run_sharded, thread_count};
 pub use grid::{Cell, InitSpec, PlacementSpec, SweepGrid};
-pub use runners::{run_cover_cell, CoverSample, ProcessKind};
+pub use runners::{run_cover_cell, run_scenario, CoverSample, ProcessKind};
+pub use scenario::{GraphFamily, Scenario, ScenarioGrid};

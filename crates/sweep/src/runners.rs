@@ -1,28 +1,49 @@
 //! Per-cell cover-time measurement for every [`CoverProcess`] backend.
 //!
-//! A runner turns one [`Cell`] into one [`CoverSample`]; which process
-//! backs the cell is a [`ProcessKind`] value, so the same sharded sweep
-//! produces paired rotor-router and random-walk curves from one grid —
-//! the measurement the paper's "deterministic alternative to parallel
-//! random walks" framing calls for.
+//! A runner turns one [`Scenario`] (or legacy ring [`Cell`]) into one
+//! [`CoverSample`]; which process backs the measurement is a
+//! [`ProcessKind`] value, so the same sharded sweep produces paired
+//! rotor-router and random-walk curves from one grid — the measurement
+//! the paper's "deterministic alternative to parallel random walks"
+//! framing calls for. Dispatch is over `(GraphFamily, ProcessKind)`:
+//! [`ProcessKind::Rotor`] resolves to the [`RingRouter`] fast path on the
+//! ring family and to the general [`Engine`] everywhere else.
 
 use crate::grid::Cell;
+use crate::scenario::Scenario;
+use rotor_core::rng::{stream, STREAM_WALK};
 use rotor_core::{CoverProcess, Engine, RingRouter};
-use rotor_graph::{builders, NodeId};
+use rotor_graph::{NodeId, PortGraph};
 use rotor_walks::ParallelWalk;
 use std::time::Instant;
 
 /// Which [`CoverProcess`] implementation backs a cell.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ProcessKind {
-    /// The ring-specialised rotor-router ([`RingRouter`]) — the fast path
-    /// for every ring sweep.
+    /// The family-appropriate rotor-router: [`RingRouter`] when the
+    /// scenario's family is the ring, the general [`Engine`] otherwise.
+    /// The right default for every rotor sweep.
+    Rotor,
+    /// The ring-specialised rotor-router ([`RingRouter`]) — explicit fast
+    /// path; only valid on the ring.
     RotorRing,
-    /// The general-graph rotor-router ([`Engine`]) on a ring graph —
-    /// slower, used to cross-check the specialised engine at sweep scale.
+    /// The general-graph rotor-router ([`Engine`]) — on the ring, used to
+    /// cross-check the specialised engine at sweep scale.
     RotorGeneral,
     /// `k` independent random walkers ([`ParallelWalk`]) — the baseline.
     RandomWalk,
+}
+
+impl ProcessKind {
+    /// A short stable label (used in report curve names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcessKind::Rotor => "rotor",
+            ProcessKind::RotorRing => "rotor_ring",
+            ProcessKind::RotorGeneral => "rotor_general",
+            ProcessKind::RandomWalk => "walk",
+        }
+    }
 }
 
 /// One measured cell: the cell coordinates plus the observed cover
@@ -55,46 +76,97 @@ impl CoverSample {
     }
 }
 
-/// Measures one cell with the given process, running to cover or
-/// `max_rounds`, whichever comes first.
+/// Measures one legacy ring [`Cell`] with the given process, running to
+/// cover or `max_rounds`, whichever comes first.
+///
+/// Thin wrapper over [`run_scenario`] on the ring family; kept so the
+/// pre-scenario call sites (and the bit-identity pins against them) keep
+/// compiling unchanged.
 pub fn run_cover_cell(cell: &Cell, kind: ProcessKind, max_rounds: u64) -> CoverSample {
-    let positions = cell.positions();
+    let sc = Scenario {
+        family: crate::scenario::GraphFamily::Ring,
+        n: cell.n,
+        k: cell.k,
+        seed_index: cell.seed_index,
+        seed: cell.seed,
+        placement: cell.placement,
+        init: cell.init,
+    };
+    run_scenario(&sc, kind, max_rounds)
+}
+
+/// Measures one [`Scenario`] with the given process, running to cover or
+/// `max_rounds`, whichever comes first.
+///
+/// Dispatch keeps the ring fast path: `Rotor` (and `RotorRing`) on the
+/// ring family run the `O(k)`-per-round [`RingRouter`]; everything else
+/// builds the scenario's [`PortGraph`] and runs the general [`Engine`] or
+/// [`ParallelWalk`]. On the ring, pointer initialisation goes through the
+/// direction-bit form for *all* kinds, so general-engine cross-checks see
+/// exactly the specialised engine's initial configuration.
+///
+/// # Panics
+///
+/// Panics if `kind` is [`ProcessKind::RotorRing`] and the scenario's
+/// family is not the ring.
+pub fn run_scenario(sc: &Scenario, kind: ProcessKind, max_rounds: u64) -> CoverSample {
+    let positions = sc.positions();
+    let on_ring = sc.family.is_ring();
     match kind {
-        ProcessKind::RotorRing => {
-            let dirs = cell.ring_directions(&positions);
-            let mut p = RingRouter::new(cell.n, &positions, &dirs);
-            finish(cell, &mut p, max_rounds)
+        ProcessKind::Rotor | ProcessKind::RotorRing if on_ring => {
+            let dirs = sc.ring_directions(&positions);
+            let mut p = RingRouter::new(sc.n, &positions, &dirs);
+            finish(sc, &mut p, max_rounds)
         }
-        ProcessKind::RotorGeneral => {
-            let g = builders::ring(cell.n);
-            let dirs = cell.ring_directions(&positions);
+        ProcessKind::RotorRing => {
+            panic!(
+                "RotorRing requires the Ring family, got {}",
+                sc.family.label()
+            )
+        }
+        ProcessKind::Rotor | ProcessKind::RotorGeneral => {
+            let g = sc.graph();
             let ids: Vec<NodeId> = positions.iter().map(|&v| NodeId::new(v)).collect();
-            let ptrs: Vec<u32> = dirs.iter().map(|&d| u32::from(d)).collect();
+            let ptrs = initial_pointers(sc, &g, &positions, &ids);
             let mut p = Engine::with_pointers(&g, &ids, ptrs);
-            finish(cell, &mut p, max_rounds)
+            finish(sc, &mut p, max_rounds)
         }
         ProcessKind::RandomWalk => {
-            let g = builders::ring(cell.n);
+            let g = sc.graph();
             let ids: Vec<NodeId> = positions.iter().map(|&v| NodeId::new(v)).collect();
             // Walk trajectories draw from their own stream, domain-
             // separated from placement/init randomness.
-            let mut p = ParallelWalk::new(&g, &ids, crate::grid::splitmix64(cell.seed ^ 0x3A1C));
-            finish(cell, &mut p, max_rounds)
+            let mut p = ParallelWalk::new(&g, &ids, stream(sc.seed, STREAM_WALK));
+            finish(sc, &mut p, max_rounds)
         }
+    }
+}
+
+/// Initial port pointers for the general engine: the ring family goes
+/// through the direction-bit derivation (bit-identical to the fast path);
+/// every other family uses the graph-level [`PointerInit`] resolution.
+fn initial_pointers(sc: &Scenario, g: &PortGraph, positions: &[u32], ids: &[NodeId]) -> Vec<u32> {
+    if sc.family.is_ring() {
+        sc.ring_directions(positions)
+            .iter()
+            .map(|&d| u32::from(d))
+            .collect()
+    } else {
+        sc.init.pointer_init(sc.seed).pointers(g, ids)
     }
 }
 
 /// Shared tail of every runner: timed `run_until_covered` plus sample
 /// assembly — exactly the surface [`CoverProcess`] promises.
-fn finish<P: CoverProcess>(cell: &Cell, p: &mut P, max_rounds: u64) -> CoverSample {
+fn finish<P: CoverProcess>(sc: &Scenario, p: &mut P, max_rounds: u64) -> CoverSample {
     let start = Instant::now();
     let cover = p.run_until_covered(max_rounds);
     let nanos = start.elapsed().as_nanos() as u64;
     CoverSample {
-        n: cell.n,
-        k: cell.k,
-        seed_index: cell.seed_index,
-        seed: cell.seed,
+        n: sc.n,
+        k: sc.k,
+        seed_index: sc.seed_index,
+        seed: sc.seed,
         cover,
         rounds: p.round(),
         nanos,
@@ -106,6 +178,7 @@ mod tests {
     use super::*;
     use crate::driver::run_sharded;
     use crate::grid::{InitSpec, PlacementSpec, SweepGrid};
+    use crate::scenario::{GraphFamily, ScenarioGrid};
 
     fn grid() -> SweepGrid {
         SweepGrid {
@@ -166,6 +239,116 @@ mod tests {
             .unwrap();
         assert_eq!(sample.cover, Some(direct));
         assert_eq!(sample.rounds, direct, "stops at cover");
+    }
+
+    #[test]
+    fn ring_scenarios_are_bit_identical_to_legacy_cells() {
+        // The acceptance pin: the same grid expressed as a ring-family
+        // ScenarioGrid and as a legacy SweepGrid must produce *identical*
+        // samples (cover round, rounds simulated, seed) for every process
+        // kind, cell by cell.
+        let legacy = grid().cells();
+        let scenarios = ScenarioGrid {
+            families: vec![GraphFamily::Ring],
+            ns: vec![32, 64],
+            ks: vec![1, 2, 4],
+            seed_count: 2,
+            base_seed: 7,
+            placement: PlacementSpec::Random,
+            init: InitSpec::Random,
+        }
+        .scenarios();
+        assert_eq!(legacy.len(), scenarios.len());
+        for kind in [
+            ProcessKind::Rotor,
+            ProcessKind::RotorRing,
+            ProcessKind::RotorGeneral,
+            ProcessKind::RandomWalk,
+        ] {
+            let old: Vec<CoverSample> =
+                run_sharded(&legacy, 2, |_, c| run_cover_cell(c, kind, 1 << 22));
+            let new: Vec<CoverSample> =
+                run_sharded(&scenarios, 2, |_, s| run_scenario(s, kind, 1 << 22));
+            for (o, n) in old.iter().zip(&new) {
+                assert_eq!(
+                    (o.cover, o.rounds, o.seed),
+                    (n.cover, n.rounds, n.seed),
+                    "{kind:?} diverged at n={} k={} seed={}",
+                    o.n,
+                    o.k,
+                    o.seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotor_auto_dispatch_covers_every_family() {
+        let families = [
+            GraphFamily::Ring,
+            GraphFamily::Path,
+            GraphFamily::Torus { rows: 4, cols: 8 },
+            GraphFamily::Hypercube { dim: 5 },
+            GraphFamily::Complete,
+            GraphFamily::Star,
+            GraphFamily::BinaryTree,
+            GraphFamily::Lollipop {
+                clique: 16,
+                tail: 16,
+            },
+            GraphFamily::RandomRegular { degree: 4 },
+        ];
+        for family in families {
+            let sc = Scenario {
+                family,
+                n: 32,
+                k: 2,
+                seed_index: 0,
+                seed: 0xFACE,
+                placement: PlacementSpec::AllOnOne,
+                init: InitSpec::TowardNearestAgent,
+            };
+            let rotor = run_scenario(&sc, ProcessKind::Rotor, 1 << 22);
+            assert!(rotor.cover.is_some(), "{} rotor covers", family.label());
+            let walk = run_scenario(&sc, ProcessKind::RandomWalk, 1 << 22);
+            assert!(walk.cover.is_some(), "{} walk covers", family.label());
+        }
+    }
+
+    #[test]
+    fn rotor_auto_matches_explicit_ring_kind() {
+        let scenarios = ScenarioGrid {
+            families: vec![GraphFamily::Ring],
+            ns: vec![64],
+            ks: vec![1, 3],
+            seed_count: 2,
+            base_seed: 3,
+            placement: PlacementSpec::Random,
+            init: InitSpec::Random,
+        }
+        .scenarios();
+        for sc in &scenarios {
+            let auto = run_scenario(sc, ProcessKind::Rotor, 1 << 22);
+            let explicit = run_scenario(sc, ProcessKind::RotorRing, 1 << 22);
+            let general = run_scenario(sc, ProcessKind::RotorGeneral, 1 << 22);
+            assert_eq!(auto.cover, explicit.cover);
+            assert_eq!(auto.cover, general.cover, "fast path == general engine");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "RotorRing requires the Ring family")]
+    fn rotor_ring_on_non_ring_panics() {
+        let sc = Scenario {
+            family: GraphFamily::Complete,
+            n: 8,
+            k: 1,
+            seed_index: 0,
+            seed: 1,
+            placement: PlacementSpec::AllOnOne,
+            init: InitSpec::Uniform(0),
+        };
+        run_scenario(&sc, ProcessKind::RotorRing, 100);
     }
 
     #[test]

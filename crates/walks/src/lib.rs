@@ -147,6 +147,10 @@ impl CoverProcess for ParallelWalk<'_> {
     fn visited_count(&self) -> usize {
         self.g.node_count() - self.unvisited
     }
+
+    fn is_node_visited(&self, node: usize) -> bool {
+        self.visited.contains(node)
+    }
 }
 
 #[cfg(test)]

@@ -15,10 +15,12 @@
 //!   lock-in certification;
 //! * [`rotor_walks`] — the parallel random-walk baseline (implements the
 //!   same [`rotor_core::CoverProcess`] trait as both engines);
-//! * [`rotor_sweep`] — the sharded multi-thread sweep driver fanning
-//!   (n, k, seed) grids over any `CoverProcess`;
+//! * [`rotor_sweep`] — the scenario layer (graph families × n × k × seed)
+//!   and the sharded multi-thread sweep driver fanning scenario grids
+//!   over any `CoverProcess`;
 //! * [`rotor_analysis`] — sweep statistics (medians, bootstrap bands,
-//!   regime fits against the paper's `Θ(n²/log k)` / `Θ(n²/k²)` curves).
+//!   regime fits against the paper's `Θ(n²/log k)` / `Θ(n²/k²)` curves)
+//!   and the shared `ExperimentReport` bench-JSON schema.
 //!
 //! ```
 //! use rotor::rotor_core::{init::PointerInit, placement::Placement, RingRouter};
