@@ -29,6 +29,24 @@
 //!   ]
 //! }
 //! ```
+//!
+//! Point fields are bench-specific; the instrumented ones are:
+//!
+//! * `return_time` — `found` (bool; whether Brent certified a cycle within
+//!   the step budget), `tail` (`μ`, the transient length; `null` when not
+//!   found) and `period` (`λ`, the limit-cycle return time of §4; `null`
+//!   when not found), per (family, n) curve with `k` on the x axis;
+//! * `general_graphs` — alongside `median_cover` / `bound_2_d_e` /
+//!   `worst_ratio`, the §2.2 domain-dynamics columns `max_domains` (peak
+//!   count of maximal contiguous visited index segments over the run,
+//!   worst repetition) and `single_domain_round` (first round from which
+//!   the domain count stays at 1, latest repetition), plus the report-meta
+//!   scalar `domain_sampler_speedup_n4096` (measured wall-clock ratio of
+//!   scan-based vs incremental every-round domain sampling).
+//!
+//! Reports are parsed back (for the `xtask` validator and the
+//! determinism-drift comparison in CI) with [`Json::parse`], the exact
+//! inverse of [`Json::render`] on this module's output.
 
 use crate::RegimeFit;
 use std::path::{Path, PathBuf};
@@ -122,6 +140,310 @@ impl Json {
             }
         }
     }
+}
+
+impl Json {
+    /// Parses a JSON document — the inverse of [`render`](Self::render),
+    /// accepting standard JSON (the subset plus the generality: numbers,
+    /// strings with escapes, nested arrays/objects, whitespace).
+    ///
+    /// Non-negative integers without fraction or exponent parse as
+    /// [`Json::Int`]; every other number parses as [`Json::Num`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first violation.
+    ///
+    /// ```
+    /// use rotor_analysis::report::Json;
+    ///
+    /// let v = Json::parse(r#"{"x": 1, "ok": true, "rate": 1.5}"#).unwrap();
+    /// assert_eq!(v.get("x").and_then(Json::as_u64), Some(1));
+    /// assert_eq!(v.get("rate").and_then(Json::as_f64), Some(1.5));
+    /// ```
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for missing keys and non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer ([`Json::Int`] only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float ([`Json::Num`], or [`Json::Int`] widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as ordered object fields.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at {}", *c as char, *pos)),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(format!("expected digits at byte {}", *pos));
+    }
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. invalid here).
+    if b[digits_start] == b'0' && *pos > digits_start + 1 {
+        return Err(format!("leading zero in number at byte {digits_start}"));
+    }
+    let int_end = *pos;
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("expected digits after '.' at byte {}", *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("expected exponent digits at byte {}", *pos));
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    // Non-negative, fraction- and exponent-free values are Int; everything
+    // else (negatives, decimals, exponents, > u64::MAX) widens to Num.
+    if b[start] != b'-' && *pos == int_end {
+        if let Ok(i) = text.parse::<u64>() {
+            return Ok(Json::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hi = parse_hex4(b, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // surrogate pair: expect the low half
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                *pos += 2;
+                                let lo = parse_hex4(b, pos)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(format!("invalid low surrogate at byte {}", *pos));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                return Err(format!("lone surrogate at byte {}", *pos));
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid codepoint at byte {}", *pos))?,
+                        );
+                    }
+                    c => {
+                        return Err(format!(
+                            "invalid escape '\\{}' at byte {}",
+                            *c as char, *pos
+                        ))
+                    }
+                }
+            }
+            Some(_) => {
+                // advance by one UTF-8 character
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let chunk = b
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+    let text = std::str::from_utf8(chunk).map_err(|_| "non-ascii \\u escape".to_string())?;
+    let v = u32::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape '{text}'"))?;
+    *pos += 4;
+    Ok(v)
 }
 
 /// One measured point of a [`Curve`]: the sweep coordinate `x` (agent
@@ -355,6 +677,88 @@ mod tests {
         assert!(body.contains(r#""label":"rotor/random/n64""#));
         assert!(body.contains(r#""fit":null"#));
         assert!(body.contains(r#""points":[{"x":1,"cover":900},{"x":2,"cover":400}]"#));
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_reports() {
+        let mut curve = Curve::new("rotor/random/n64").meta("n", Json::Int(64));
+        curve.points.push(Point::new(
+            1,
+            [
+                ("cover", Json::Int(900)),
+                ("ratio", Json::Num(0.25)),
+                ("found", Json::Bool(true)),
+                ("bound", Json::Null),
+            ],
+        ));
+        let mut report = ExperimentReport::new("demo", 2).meta("note", Json::Str("a\"b\n".into()));
+        report.curves.push(curve);
+        let body = report.to_json().render();
+        let parsed = Json::parse(&body).expect("round trip");
+        assert_eq!(parsed.render(), body, "parse inverts render");
+        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(parsed.get("threads").and_then(Json::as_u64), Some(2));
+        let curves = parsed.get("curves").and_then(Json::as_arr).unwrap();
+        let p0 = curves[0].get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(p0[0].get("ratio").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(p0[0].get("found").and_then(Json::as_bool), Some(true));
+        assert!(p0[0].get("bound").unwrap().is_null());
+        assert!(p0[0].get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_accepts_general_json() {
+        let v =
+            Json::parse(" { \"a\" : [ 1 , -2.5 , 1e3 , \"\\u0041\\ud83d\\ude00\" ] } ").unwrap();
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].as_f64(), Some(1000.0));
+        assert_eq!(arr[3].as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn parse_int_vs_num_boundary() {
+        assert!(matches!(Json::parse("7").unwrap(), Json::Int(7)));
+        assert!(matches!(Json::parse("7.0").unwrap(), Json::Num(_)));
+        assert!(matches!(Json::parse("-7").unwrap(), Json::Num(_)));
+        assert!(matches!(Json::parse("7e2").unwrap(), Json::Num(_)));
+        // beyond u64: widens instead of failing
+        assert!(matches!(
+            Json::parse("99999999999999999999999").unwrap(),
+            Json::Num(_)
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "\"unterminated",
+            "01x",
+            "1 2",
+            "{\"a\" 1}",
+            "[1]]",
+            // RFC 8259 number grammar
+            "01",
+            "-01",
+            "1.",
+            "1.e3",
+            "1e",
+            "1e+",
+            ".5",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must fail");
+        }
+        // zero itself (and fraction/exponent forms of it) remains valid
+        assert!(matches!(Json::parse("0").unwrap(), Json::Int(0)));
+        assert!(Json::parse("0.5").is_ok());
+        assert!(Json::parse("-0.5").is_ok());
+        assert!(Json::parse("0e0").is_ok());
     }
 
     #[test]

@@ -17,11 +17,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
+use rotor_core::domains::{scan_domain_stats, DomainSampler};
+use rotor_core::{init::PointerInit, placement::Placement, CoverProcess, RingRouter};
 use rotor_graph::algo;
 use rotor_sweep::{
-    run_scenario, run_sharded, thread_count, GraphFamily, InitSpec, PlacementSpec, ProcessKind,
-    Scenario, ScenarioGrid,
+    run_scenario, run_scenario_observed, run_sharded, thread_count, GraphFamily, InitSpec,
+    PlacementSpec, ProcessKind, Scenario, ScenarioGrid,
 };
+use std::time::Instant;
 
 const SMOKE_ENV: &str = "ROTOR_SWEEP_SMOKE";
 
@@ -109,14 +112,99 @@ fn lockin_bound(sc: &Scenario) -> u64 {
     2 * u64::from(algo::diameter(&g)) * g.edge_count() as u64
 }
 
+/// One sharded cell's measurement: the cover round, its lock-in bound, and
+/// the §2.2 domain dynamics sampled every round through the observer hook.
+struct CellResult {
+    cover: u64,
+    bound: u64,
+    /// Peak domain count over the run (cyclic index space).
+    max_domains: u32,
+    /// First round from which the domain count stays at 1.
+    single_domain_round: u64,
+}
+
+fn run_cell(sc: &Scenario) -> CellResult {
+    let bound = lockin_bound(sc);
+    // Every-round sampling is O(1) per round on the ring family (the
+    // RingRouter's incremental counters) and one O(n) scan elsewhere —
+    // affordable here because non-ring covers stay within 4·bound rounds.
+    let mut sampler = DomainSampler::every(1);
+    let sample = run_scenario_observed(sc, ProcessKind::Rotor, 4 * bound, &mut sampler);
+    let cover = sample.cover.expect("cover within the lock-in regime");
+    let max_domains = sampler
+        .samples
+        .iter()
+        .map(|s| s.domains)
+        .max()
+        .expect("observer saw round 0");
+    // The last round whose sample was still plural, plus one sample; the
+    // covering sample always has a single domain, so this is in range.
+    let single_domain_round = sampler
+        .samples
+        .iter()
+        .rposition(|s| s.domains != 1)
+        .map(|i| sampler.samples[i + 1].round)
+        .unwrap_or(0);
+    CellResult {
+        cover,
+        bound,
+        max_domains,
+        single_domain_round,
+    }
+}
+
+/// Wall-clock ratio of every-round §2.2 sampling through the `O(n)` scan
+/// fallback versus the `RingRouter`'s incremental counters, at n = 4096 —
+/// the acceptance smoke for the incremental instrumentation path (must be
+/// ≥ 5×; in practice it is orders of magnitude).
+fn domain_sampler_speedup() -> f64 {
+    let n = 4096;
+    let rounds = 2048;
+    let starts = Placement::EquallySpaced { offset: 0 }.positions(n, 8);
+    let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+
+    let mut incremental = RingRouter::new(n, &starts, &dirs);
+    let mut sampler = DomainSampler::every(1);
+    let t0 = Instant::now();
+    incremental.run_observed(rounds, &mut sampler);
+    let incremental_time = t0.elapsed();
+
+    let mut scanned = RingRouter::new(n, &starts, &dirs);
+    let mut scans = Vec::new();
+    let t0 = Instant::now();
+    scanned.run_observed(rounds, &mut |p: &RingRouter| {
+        scans.push(scan_domain_stats(p))
+    });
+    let scan_time = t0.elapsed();
+
+    // Identical runs: the two instruments must agree sample for sample.
+    assert_eq!(sampler.samples.len(), scans.len());
+    assert!(sampler
+        .samples
+        .iter()
+        .zip(&scans)
+        .all(|(s, sc)| (s.domains, s.borders) == (sc.domains, sc.borders)));
+    scan_time.as_secs_f64() / incremental_time.as_secs_f64().max(f64::EPSILON)
+}
+
 fn bench(c: &mut Criterion) {
     let smoke = std::env::var(SMOKE_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
     let (family_sweeps, ks, write) = sweeps(c.is_test_mode(), smoke);
     let threads = thread_count();
-    let mut report = ExperimentReport::new("general_graphs", threads as u64).meta(
-        "ks",
-        Json::Arr(ks.iter().map(|&k| Json::Int(k as u64)).collect()),
+    // Acceptance smoke for the incremental §2.2 path: every-round domain
+    // sampling on the ring must beat the scan fallback by at least 5×.
+    let sampler_speedup = domain_sampler_speedup();
+    assert!(
+        sampler_speedup >= 5.0,
+        "incremental domain sampling only {sampler_speedup:.1}x faster than the scan"
     );
+    println!("domain sampler speedup at n=4096 (incremental vs scan): {sampler_speedup:.0}x");
+    let mut report = ExperimentReport::new("general_graphs", threads as u64)
+        .meta(
+            "ks",
+            Json::Arr(ks.iter().map(|&k| Json::Int(k as u64)).collect()),
+        )
+        .meta("domain_sampler_speedup_n4096", Json::Num(sampler_speedup));
 
     for fs in &family_sweeps {
         let grid = ScenarioGrid {
@@ -131,14 +219,9 @@ fn bench(c: &mut Criterion) {
         let scenarios = grid.scenarios();
         // Each worker derives its scenario's bound itself, so the
         // diameter BFS scans run sharded alongside the cover runs rather
-        // than as a serial pre-pass; samples are (cover, bound) pairs.
-        let samples: Vec<(u64, u64)> = run_sharded(&scenarios, threads, |_, sc| {
-            let bound = lockin_bound(sc);
-            let cover = run_scenario(sc, ProcessKind::Rotor, 4 * bound)
-                .cover
-                .expect("cover within the lock-in regime");
-            (cover, bound)
-        });
+        // than as a serial pre-pass; the §2.2 domain sampler rides along
+        // through the observer hook.
+        let samples: Vec<CellResult> = run_sharded(&scenarios, threads, |_, sc| run_cell(sc));
 
         for (ni, &n) in fs.ns.iter().enumerate() {
             let mut curve = Curve::new(format!("{}/n{n}", fs.family.label()))
@@ -147,30 +230,45 @@ fn bench(c: &mut Criterion) {
                 .meta("seed_count", Json::Int(fs.seed_count as u64));
             for (ki, &k) in ks.iter().enumerate() {
                 let point = &samples[grid.point_range(0, ni, ki)];
-                let mut covers: Vec<u64> = point.iter().map(|&(cover, _)| cover).collect();
+                let mut covers: Vec<u64> = point.iter().map(|r| r.cover).collect();
                 let median = rotor_analysis::median(&mut covers).expect("non-empty");
                 // worst observed cover/bound over the repetitions — must
                 // stay <= 4.0 by the budget, and in practice well under 2
                 let worst_ratio = point
                     .iter()
-                    .map(|&(cover, bound)| cover as f64 / bound as f64)
+                    .map(|r| r.cover as f64 / r.bound as f64)
                     .fold(f64::MIN, f64::max);
                 // Seeded families draw a different graph (hence bound) per
                 // repetition; a single bound field would then disagree
                 // with the cross-repetition median, so emit it only when
                 // it is the same for every sample behind the point.
-                let bound = point[0].1;
-                let shared_bound = if point.iter().all(|&(_, b)| b == bound) {
+                let bound = point[0].bound;
+                let shared_bound = if point.iter().all(|r| r.bound == bound) {
                     Json::Int(bound)
                 } else {
                     Json::Null
                 };
+                // Domain dynamics (§2.2, in the cyclic index space):
+                // worst repetition's peak domain count and the latest
+                // round from which the count settles at a single domain.
+                let max_domains = point
+                    .iter()
+                    .map(|r| r.max_domains)
+                    .max()
+                    .expect("non-empty");
+                let single_domain_round = point
+                    .iter()
+                    .map(|r| r.single_domain_round)
+                    .max()
+                    .expect("non-empty");
                 curve.points.push(Point::new(
                     k as u64,
                     [
                         ("median_cover", Json::Int(median)),
                         ("bound_2_d_e", shared_bound),
                         ("worst_ratio", Json::Num(worst_ratio)),
+                        ("max_domains", Json::Int(u64::from(max_domains))),
+                        ("single_domain_round", Json::Int(single_domain_round)),
                     ],
                 ));
             }
@@ -200,6 +298,30 @@ fn bench(c: &mut Criterion) {
     let sc = grid.scenarios()[0];
     group.bench_function(BenchmarkId::new("cover", "torus_16x16_k4"), |b| {
         b.iter(|| run_scenario(&sc, ProcessKind::Rotor, u64::MAX));
+    });
+    // The two §2.2 sampling paths head to head: every-round domain stats
+    // on the ring via the incremental counters vs the O(n) scan fallback.
+    let n = 4096;
+    let starts = Placement::EquallySpaced { offset: 0 }.positions(n, 8);
+    let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+    group.bench_function(
+        BenchmarkId::new("domain_sampling", "incremental_n4096"),
+        |b| {
+            b.iter(|| {
+                let mut r = RingRouter::new(n, &starts, &dirs);
+                let mut s = DomainSampler::every(1);
+                r.run_observed(512, &mut s);
+                s.samples.len()
+            });
+        },
+    );
+    group.bench_function(BenchmarkId::new("domain_sampling", "scan_n4096"), |b| {
+        b.iter(|| {
+            let mut r = RingRouter::new(n, &starts, &dirs);
+            let mut out = Vec::new();
+            r.run_observed(512, &mut |p: &RingRouter| out.push(scan_domain_stats(p)));
+            out.len()
+        });
     });
     group.finish();
 }

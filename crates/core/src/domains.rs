@@ -15,6 +15,55 @@
 use crate::process::{CoverProcess, Observer};
 use crate::ring::{RingRouter, VisitRecord};
 
+/// The §2.2 domain/border structure of a configuration, in the cyclic
+/// index space `0..n`.
+///
+/// `domains` is the number of maximal contiguous visited segments (1 once
+/// everything is visited — the full ring is a single cyclic domain);
+/// `borders` is the number of visited nodes cyclically adjacent to an
+/// unvisited node (0 once everything is visited).
+///
+/// Obtained from any backend through
+/// [`CoverProcess::domain_stats`]: the [`RingRouter`] maintains these
+/// counters *incrementally* (`O(agents moved)` per round, `O(1)` per
+/// query), every other backend falls back to the `O(n)`
+/// [`scan_domain_stats`] over [`CoverProcess::is_node_visited`]. Property
+/// tests pin the incremental path bit-identical to the scan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DomainStats {
+    /// Maximal contiguous visited segments (cyclically; 1 at full cover).
+    pub domains: u32,
+    /// Visited nodes cyclically adjacent to an unvisited node.
+    pub borders: u32,
+}
+
+/// Reference `O(n)` computation of [`DomainStats`] for any
+/// [`CoverProcess`]: one scan over
+/// [`is_node_visited`](CoverProcess::is_node_visited) in the cyclic index
+/// space — the default body of [`CoverProcess::domain_stats`] and the
+/// ground truth the [`RingRouter`]'s incremental counters are
+/// property-tested against.
+pub fn scan_domain_stats<P: CoverProcess + ?Sized>(p: &P) -> DomainStats {
+    let n = p.node_count();
+    let mut domains = 0u32;
+    let mut borders = 0u32;
+    for v in 0..n {
+        if !p.is_node_visited(v) {
+            continue;
+        }
+        let prev = p.is_node_visited(if v == 0 { n - 1 } else { v - 1 });
+        let next = p.is_node_visited(if v + 1 == n { 0 } else { v + 1 });
+        domains += u32::from(!prev);
+        borders += u32::from(!prev || !next);
+    }
+    // A fully covered ring is a single cyclic domain with no
+    // visited/unvisited transition for the scan to count.
+    if p.visited_count() == n {
+        domains = 1;
+    }
+    DomainStats { domains, borders }
+}
+
 /// The §2.2 classification of the most recent visit to a node.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum VisitType {
@@ -148,8 +197,11 @@ pub struct DomainSample {
 /// ring topology of the paper's analysis — using only the
 /// [`CoverProcess::is_node_visited`] surface, so the sampler attaches
 /// equally to the ring engine, the general engine and the random-walk
-/// baseline without forking any drive loop. Each sample costs one `O(n)`
-/// scan; pick the stride accordingly.
+/// baseline without forking any drive loop. Each sample reads
+/// [`CoverProcess::domain_stats`]: `O(1)` on the [`RingRouter`] (which
+/// maintains the counters incrementally), one `O(n)` scan elsewhere — so
+/// every-round sampling (`stride = 1`) is cheap on the ring engine and
+/// the stride matters only for the scan-backed backends.
 ///
 /// ```
 /// use rotor_core::domains::DomainSampler;
@@ -193,27 +245,10 @@ impl<P: CoverProcess + ?Sized> Observer<P> for DomainSampler {
         if !round.is_multiple_of(self.stride) && !at_cover {
             return;
         }
-        let n = p.node_count();
-        let mut domains = 0u32;
-        let mut borders = 0u32;
-        for v in 0..n {
-            if !p.is_node_visited(v) {
-                continue;
-            }
-            let prev = p.is_node_visited(if v == 0 { n - 1 } else { v - 1 });
-            let next = p.is_node_visited(if v + 1 == n { 0 } else { v + 1 });
-            domains += u32::from(!prev);
-            borders += u32::from(!prev || !next);
-        }
-        // A fully covered ring is a single cyclic domain with no
-        // visited/unvisited transition for the scan to count.
-        let visited = p.visited_count();
-        if visited == n {
-            domains = 1;
-        }
+        let DomainStats { domains, borders } = p.domain_stats();
         self.samples.push(DomainSample {
             round,
-            visited,
+            visited: p.visited_count(),
             domains,
             borders,
         });

@@ -78,7 +78,7 @@ mod ring;
 pub mod rng;
 
 pub use engine::{Engine, EngineState};
-pub use process::{CoverProcess, Observer};
+pub use process::{CoverProcess, Observer, Probe};
 pub use ring::{RingRouter, RingState, VisitRecord};
 
 pub use rotor_graph::{NodeId, PortGraph};

@@ -13,9 +13,22 @@
 //! Brent's algorithm finds `(μ, λ)` with `O(μ + λ)` steps and `O(1)`
 //! stored snapshots, which matters here because configurations are
 //! `Θ(n)`-sized.
+//!
+//! Two formulations live here:
+//!
+//! * [`brent`] — the classical restartable form over an explicit
+//!   `new`/`step`/`snap` machine, kept as the reference implementation;
+//! * [`CycleProbe`] / [`TailProbe`] — the same algorithm as snapshot-taking
+//!   [`Observer`]s driven through [`CoverProcess::run_probed`], so §4
+//!   return-time probing attaches to *any* deterministic backend the
+//!   scenario layer can build (torus, hypercube, lollipop, …) without a
+//!   private drive loop. [`probe_cycle`] composes the two passes, and
+//!   [`ring_cycle`] / [`engine_cycle`] are built on it (property-tested
+//!   equal to [`brent`]).
 
 use crate::engine::{Engine, EngineState};
 use crate::init::PointerInit;
+use crate::process::{CoverProcess, Observer, Probe};
 use crate::ring::{RingRouter, RingState};
 use rotor_graph::{NodeId, PortGraph};
 
@@ -97,6 +110,207 @@ where
     })
 }
 
+/// A [`CoverProcess`] whose full mutable configuration can be snapshotted
+/// for equality testing — the surface the cycle probes need. Equal
+/// configurations must imply identical futures (the rotor-router is
+/// deterministic, so both engines qualify; the random-walk baseline does
+/// not and deliberately has no impl).
+pub trait ConfigSnapshot: CoverProcess {
+    /// Snapshot type; equality certifies equal configurations.
+    type Config: Clone + PartialEq;
+
+    /// Snapshot of the current configuration.
+    fn config(&self) -> Self::Config;
+}
+
+impl ConfigSnapshot for RingRouter {
+    type Config = RingState;
+
+    fn config(&self) -> RingState {
+        self.state()
+    }
+}
+
+impl ConfigSnapshot for Engine<'_> {
+    type Config = EngineState;
+
+    fn config(&self) -> EngineState {
+        self.state()
+    }
+}
+
+/// Brent phase 1 as a snapshot-taking [`Observer`]: finds the limit-cycle
+/// period `λ` of the configuration sequence during a single
+/// [`run_probed`](CoverProcess::run_probed) drive, holding `O(1)`
+/// snapshots.
+///
+/// The observation stream replays [`brent`]'s phase 1 exactly (the
+/// tortoise waits at `x_{2^i − 1}` while the hare walks), so the detected
+/// `λ` is bit-identical to the restartable form. Pair with a fresh process
+/// and a [`TailProbe`] to recover the tail `μ`, or use [`probe_cycle`]
+/// which composes both passes.
+///
+/// ```
+/// use rotor_core::limit::CycleProbe;
+/// use rotor_core::{CoverProcess, RingRouter};
+///
+/// let mut r = RingRouter::new(5, &[0], &[0; 5]);
+/// let mut probe = CycleProbe::new();
+/// assert!(r.run_probed(10_000, &mut probe));
+/// // single agent: the limit cycle is the Eulerian traversal of 2|E| arcs
+/// assert_eq!(probe.period(), Some(10));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CycleProbe<C> {
+    tortoise: Option<C>,
+    power: u64,
+    lambda: u64,
+    period: Option<u64>,
+}
+
+impl<C> CycleProbe<C> {
+    /// A fresh probe, ready to observe a run from its initial
+    /// configuration (round 0) onward.
+    pub fn new() -> Self {
+        CycleProbe {
+            tortoise: None,
+            power: 1,
+            lambda: 1,
+            period: None,
+        }
+    }
+
+    /// The certified period `λ`, once found.
+    pub fn period(&self) -> Option<u64> {
+        self.period
+    }
+}
+
+impl<C> Default for CycleProbe<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: ConfigSnapshot> Observer<P> for CycleProbe<P::Config> {
+    fn observe(&mut self, p: &P) {
+        if self.period.is_some() {
+            return;
+        }
+        let hare = p.config();
+        let Some(tortoise) = &self.tortoise else {
+            // Round 0: the tortoise starts at the initial configuration.
+            self.tortoise = Some(hare);
+            return;
+        };
+        if *tortoise == hare {
+            self.period = Some(self.lambda);
+            return;
+        }
+        if self.power == self.lambda {
+            self.tortoise = Some(hare);
+            self.power = self.power.checked_mul(2).expect("power-of-two overflow");
+            self.lambda = 0;
+        }
+        self.lambda += 1;
+    }
+}
+
+impl<P: ConfigSnapshot> Probe<P> for CycleProbe<P::Config> {
+    fn finished(&self) -> bool {
+        self.period.is_some()
+    }
+}
+
+/// Brent phase 2 as an [`Observer`]: given a known period `λ`, finds the
+/// tail `μ` (the index of the first configuration on the limit cycle) by
+/// walking a *trailing* copy of the same deterministic process `λ` rounds
+/// behind the observed one — the first round `r` with `x_{r−λ} = x_r` has
+/// `μ = r − λ`.
+///
+/// Memory is one extra machine and `O(1)` snapshots per comparison, like
+/// [`brent`]'s phase 2 (configurations are `Θ(n)`-sized, so a `λ`-deep
+/// snapshot window would be `Θ(λ·n)` — prohibitive at the sweep sizes the
+/// ring campaigns run at).
+#[derive(Clone, Debug)]
+pub struct TailProbe<P> {
+    lambda: u64,
+    trailing: P,
+    seen: u64,
+    tail: Option<u64>,
+}
+
+impl<P: ConfigSnapshot> TailProbe<P> {
+    /// A probe for a run whose limit period `λ = period` is already known
+    /// (from a [`CycleProbe`] pass over an identical process). `trailing`
+    /// must be a fresh copy of the observed process (same initial
+    /// configuration — the rotor-router is deterministic, so it will
+    /// replay the identical sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(period: u64, trailing: P) -> Self {
+        assert!(period > 0, "limit period must be positive");
+        TailProbe {
+            lambda: period,
+            trailing,
+            seen: 0,
+            tail: None,
+        }
+    }
+
+    /// The certified tail `μ`, once found.
+    pub fn tail(&self) -> Option<u64> {
+        self.tail
+    }
+}
+
+impl<P: ConfigSnapshot> Observer<P> for TailProbe<P> {
+    fn observe(&mut self, p: &P) {
+        if self.tail.is_some() {
+            return;
+        }
+        // `seen` counts observations, so the observed process is at
+        // x_seen; once it is λ ahead, the trailing machine sits at
+        // x_{seen−λ} and every mismatch advances it by one round.
+        if self.seen >= self.lambda {
+            if self.trailing.config() == p.config() {
+                self.tail = Some(self.seen - self.lambda);
+                return;
+            }
+            self.trailing.step();
+        }
+        self.seen += 1;
+    }
+}
+
+impl<P: ConfigSnapshot> Probe<P> for TailProbe<P> {
+    fn finished(&self) -> bool {
+        self.tail.is_some()
+    }
+}
+
+/// The `(μ, λ)` cycle structure of a deterministic process, measured with
+/// the observer probes: one [`CycleProbe`] pass for the period, one
+/// [`TailProbe`] pass over a fresh identical process for the tail.
+///
+/// `make` must reproduce the identical configuration sequence on each call
+/// (any engine constructor from fixed inputs qualifies). Returns `None`
+/// when no cycle is certified within `max_steps` rounds — the same budget
+/// semantics as [`brent`], to which this is property-tested equal.
+pub fn probe_cycle<P: ConfigSnapshot>(make: impl Fn() -> P, max_steps: u64) -> Option<CycleInfo> {
+    let mut first = make();
+    let mut head = CycleProbe::new();
+    first.run_probed(max_steps, &mut head);
+    let period = head.period()?;
+    let mut second = make();
+    let mut tail_probe = TailProbe::new(period, make());
+    // μ ≤ max_steps is certified at round μ + λ of the second pass.
+    second.run_probed(max_steps.saturating_add(period), &mut tail_probe);
+    tail_probe.tail().map(|tail| CycleInfo { tail, period })
+}
+
 /// Cycle structure of the general-graph engine from the given start
 /// configuration.
 ///
@@ -117,22 +331,15 @@ pub fn engine_cycle(
     max_steps: u64,
 ) -> Option<CycleInfo> {
     let pointers = init.pointers(g, agents);
-    brent(
+    probe_cycle(
         || Engine::with_pointers(g, agents, pointers.clone()),
-        Engine::step,
-        |e| -> EngineState { e.state() },
         max_steps,
     )
 }
 
 /// Cycle structure of the ring engine from the given start configuration.
 pub fn ring_cycle(n: usize, starts: &[u32], dirs: &[u8], max_steps: u64) -> Option<CycleInfo> {
-    brent(
-        || RingRouter::new(n, starts, dirs),
-        RingRouter::step,
-        |r| -> RingState { r.state() },
-        max_steps,
-    )
+    probe_cycle(|| RingRouter::new(n, starts, dirs), max_steps)
 }
 
 /// The *return time* of the limit behaviour on the ring (§4): the period of
@@ -210,6 +417,119 @@ mod tests {
         let fast = engine_cycle(&g, &starts, &PointerInit::Uniform(0), 1_000_000).unwrap();
         let ring = ring_cycle(n, &[0, 3], &[CW; 6], 1_000_000).unwrap();
         assert_eq!(fast, ring);
+    }
+
+    #[test]
+    fn probe_cycle_matches_brent_reference_on_random_rings() {
+        // The observer reformulation must certify the exact (μ, λ) the
+        // restartable reference finds, seed by seed.
+        use crate::init::PointerInit;
+        use crate::placement::Placement;
+        use crate::rng::splitmix64;
+        for i in 0..30u64 {
+            let h = splitmix64(0x9B1E ^ i);
+            let n = 4 + (h % 12) as usize;
+            let k = 1 + (splitmix64(h) % 3) as usize;
+            let starts = Placement::Random(h).positions(n, k);
+            let dirs = PointerInit::Random(splitmix64(h ^ 1)).ring_directions(n, &starts);
+            let probed = probe_cycle(|| RingRouter::new(n, &starts, &dirs), 1_000_000);
+            let reference = brent(
+                || RingRouter::new(n, &starts, &dirs),
+                RingRouter::step,
+                |r| -> RingState { r.state() },
+                1_000_000,
+            );
+            assert_eq!(probed, reference, "n={n} k={k} i={i}");
+            assert!(probed.is_some(), "small systems always cycle");
+        }
+    }
+
+    #[test]
+    fn cycle_probe_period_matches_ring_cycle_on_small_rings() {
+        // The probe's phase-1 λ alone, driven through run_probed, equals
+        // the full ring_cycle answer on known small configurations.
+        use crate::CoverProcess;
+        for (n, starts) in [(4usize, vec![0u32]), (5, vec![0, 2]), (6, vec![1, 1, 4])] {
+            let dirs = vec![CW; n];
+            let full = ring_cycle(n, &starts, &dirs, 1_000_000).unwrap();
+            let mut r = RingRouter::new(n, &starts, &dirs);
+            let mut probe = CycleProbe::new();
+            assert!(r.run_probed(1_000_000, &mut probe));
+            assert_eq!(probe.period(), Some(full.period), "n={n}");
+        }
+    }
+
+    #[test]
+    fn probe_runs_past_cover_round() {
+        // run_probed must not stop at cover: the n=8 single-agent ring
+        // covers in Θ(n²) rounds but its limit cycle is only entered later.
+        use crate::CoverProcess;
+        let n = 8usize;
+        let mut r = RingRouter::new(n, &[0], &vec![CW; n]);
+        let mut probe = CycleProbe::new();
+        assert!(r.run_probed(1_000_000, &mut probe));
+        assert!(r.cover_round().is_some());
+        assert!(
+            CoverProcess::round(&r) > r.cover_round().unwrap(),
+            "probe kept driving after cover"
+        );
+        assert_eq!(probe.period(), Some(2 * n as u64));
+    }
+
+    #[test]
+    fn tail_probe_recovers_known_tail() {
+        let n = 6usize;
+        let starts = [1u32, 1, 4];
+        let dirs = vec![CW; n];
+        let expected = brent(
+            || RingRouter::new(n, &starts, &dirs),
+            RingRouter::step,
+            |r| -> RingState { r.state() },
+            1_000_000,
+        )
+        .unwrap();
+        use crate::CoverProcess;
+        let mut r = RingRouter::new(n, &starts, &dirs);
+        let mut probe = TailProbe::new(expected.period, RingRouter::new(n, &starts, &dirs));
+        assert!(r.run_probed(1_000_000, &mut probe));
+        assert_eq!(probe.tail(), Some(expected.tail));
+    }
+
+    #[test]
+    fn single_agent_lockin_period_on_general_graphs() {
+        // Lock-in theorem (§1.2, Yanovski et al.): a single agent settles
+        // into an Eulerian traversal, so the limit period divides a
+        // multiple of 2|E| — and is in fact exactly 2|E| here.
+        for g in [
+            builders::torus(3, 3),
+            builders::hypercube(3),
+            builders::lollipop(4, 3),
+        ] {
+            let two_e = 2 * g.edge_count() as u64;
+            let info =
+                engine_cycle(&g, &[NodeId::new(0)], &PointerInit::Uniform(0), 1_000_000).unwrap();
+            assert_eq!(info.period, two_e, "{g:?}");
+            // lock-in happens within the 2·D·|E| bound
+            let bound = 2 * u64::from(rotor_graph::algo::diameter(&g)) * g.edge_count() as u64;
+            assert!(info.tail <= bound, "tail {} > bound {bound}", info.tail);
+        }
+    }
+
+    #[test]
+    fn probe_cycle_times_out_like_brent() {
+        // A budget too small for μ + λ yields None on both paths.
+        let n = 16usize;
+        let dirs = vec![CW; n];
+        assert_eq!(probe_cycle(|| RingRouter::new(n, &[0], &dirs), 10), None);
+        assert_eq!(
+            brent(
+                || RingRouter::new(n, &[0], &dirs),
+                RingRouter::step,
+                |r| -> RingState { r.state() },
+                10,
+            ),
+            None
+        );
     }
 
     #[test]

@@ -48,6 +48,17 @@ impl<P: CoverProcess + ?Sized, F: FnMut(&P)> Observer<P> for F {
     }
 }
 
+/// An [`Observer`] that knows when it is done — the contract of
+/// [`CoverProcess::run_probed`], which (unlike
+/// [`run_observed`](CoverProcess::run_observed)) does **not** stop at the
+/// cover round: §4's limit-cycle structure only emerges well after
+/// covering, so cycle probes like [`CycleProbe`](crate::limit::CycleProbe)
+/// drive the loop by their own completion instead.
+pub trait Probe<P: CoverProcess + ?Sized>: Observer<P> {
+    /// Whether the probe has everything it came for.
+    fn finished(&self) -> bool;
+}
+
 /// A synchronous process on a finite node set that eventually visits every
 /// node.
 ///
@@ -88,6 +99,19 @@ pub trait CoverProcess {
     /// visited, initial placements included.
     fn is_node_visited(&self, node: usize) -> bool;
 
+    /// The §2.2 domain/border structure of the current configuration, in
+    /// the cyclic index space `0..node_count()`.
+    ///
+    /// The default implementation is one `O(n)` scan
+    /// ([`scan_domain_stats`](crate::domains::scan_domain_stats)); the
+    /// [`RingRouter`](crate::RingRouter) overrides it with incrementally
+    /// maintained counters (`O(1)` per call), which is what makes
+    /// every-round [`DomainSampler`](crate::domains::DomainSampler)
+    /// attachment affordable on the §2.2 sweeps.
+    fn domain_stats(&self) -> crate::domains::DomainStats {
+        crate::domains::scan_domain_stats(self)
+    }
+
     /// Runs until every node has been visited, or gives up after
     /// `max_rounds` total rounds. Returns the cover round, or `None` on
     /// timeout.
@@ -111,6 +135,26 @@ pub trait CoverProcess {
             observer.observe(self);
         }
         self.cover_round()
+    }
+
+    /// Runs until `probe` reports [`finished`](Probe::finished) or
+    /// `max_rounds` total rounds have elapsed, whichever comes first,
+    /// showing the probe the initial configuration and every round's
+    /// result. Returns whether the probe finished.
+    ///
+    /// Unlike [`run_observed`](Self::run_observed) this does **not** stop
+    /// at the cover round — the §4 return-time probes need the rounds far
+    /// beyond covering where the limit cycle lives.
+    fn run_probed(&mut self, max_rounds: u64, probe: &mut impl Probe<Self>) -> bool
+    where
+        Self: Sized,
+    {
+        probe.observe(self);
+        while !probe.finished() && self.round() < max_rounds {
+            self.step();
+            probe.observe(self);
+        }
+        probe.finished()
     }
 }
 

@@ -87,6 +87,13 @@ pub struct RingRouter {
     cover_round: Option<u64>,
     visits: Vec<u64>,
     last_visit: Vec<VisitRecord>,
+    /// §2.2 domain count (maximal contiguous visited segments), maintained
+    /// incrementally on every first visit — `O(1)` to read, vs the `O(n)`
+    /// scan fallback other backends use.
+    domains: u32,
+    /// §2.2 border count (visited nodes adjacent to an unvisited node),
+    /// maintained incrementally alongside `domains`.
+    borders: u32,
     /// Scratch buffers reused between rounds: the three pre-sorted move
     /// streams of a round (held agents, clockwise arrivals, anticlockwise
     /// arrivals) and the merge output, each split nodes/counts.
@@ -173,7 +180,7 @@ impl RingRouter {
             unvisited -= 1;
         }
         let cover_round = (unvisited == 0).then_some(0);
-        RingRouter {
+        let mut router = RingRouter {
             n: n32,
             k: starts.len() as u32,
             dirs: dirs.to_vec(),
@@ -185,11 +192,19 @@ impl RingRouter {
             cover_round,
             visits,
             last_visit,
+            domains: 0,
+            borders: 0,
             held: SoaStream::default(),
             cw_moves: SoaStream::default(),
             acw_moves: SoaStream::default(),
             next_occ: SoaStream::default(),
-        }
+        };
+        // One scan seeds the incremental §2.2 counters from the initial
+        // placement; every later update is O(1) per first visit.
+        let initial = crate::domains::scan_domain_stats(&router);
+        router.domains = initial.domains;
+        router.borders = initial.borders;
+        router
     }
 
     /// Ring size `n`.
@@ -261,6 +276,51 @@ impl RingRouter {
     /// Number of never-visited nodes.
     pub fn unvisited_count(&self) -> u32 {
         self.unvisited
+    }
+
+    /// §2.2 domain count (maximal contiguous visited segments; 1 once the
+    /// ring is covered), incrementally maintained — `O(1)`.
+    pub fn domain_count(&self) -> u32 {
+        self.domains
+    }
+
+    /// §2.2 border count (visited nodes adjacent to an unvisited node; 0
+    /// once the ring is covered), incrementally maintained — `O(1)`.
+    pub fn border_count(&self) -> u32 {
+        self.borders
+    }
+
+    /// Incremental update of the §2.2 counters for the first visit to `v`,
+    /// called with `v` already inserted into the visited set (and
+    /// `unvisited` already decremented). `O(1)`: only `v` and its two
+    /// cyclic neighbours can change domain/border status.
+    fn note_first_visit(&mut self, v: u32) {
+        let p = self.acw(v);
+        let nx = self.cw(v);
+        let pv = self.visited.contains(p as usize);
+        let nv = self.visited.contains(nx as usize);
+        match (pv, nv) {
+            // An isolated first visit opens a new domain.
+            (false, false) => self.domains += 1,
+            // Filling a gap merges two domains — unless the two visited
+            // neighbours already belong to the *same* (wrapping) domain,
+            // which only happens when `v` was the last unvisited node and
+            // the full ring remains a single cyclic domain.
+            (true, true) if self.unvisited > 0 => self.domains -= 1,
+            // Extending a domain at one end changes no domain count.
+            _ => {}
+        }
+        // `v` itself is a border iff it still touches an unvisited node.
+        self.borders += u32::from(!pv || !nv);
+        // A visited neighbour was necessarily a border before (it touched
+        // the then-unvisited `v`); it stays one only if its *other*
+        // neighbour is still unvisited.
+        if pv && self.visited.contains(self.acw(p) as usize) {
+            self.borders -= 1;
+        }
+        if nv && self.visited.contains(self.cw(nx) as usize) {
+            self.borders -= 1;
+        }
     }
 
     /// The round at which the last node was first visited, if any
@@ -410,6 +470,7 @@ impl RingRouter {
                 };
                 if self.visited.insert(d) {
                     self.unvisited -= 1;
+                    self.note_first_visit(dest);
                     if self.unvisited == 0 && self.cover_round.is_none() {
                         self.cover_round = Some(self.round);
                     }
@@ -476,6 +537,16 @@ impl crate::CoverProcess for RingRouter {
 
     fn is_node_visited(&self, node: usize) -> bool {
         self.visited.contains(node)
+    }
+
+    /// The incremental counters — `O(1)`, vs the trait's `O(n)` scan
+    /// default. Property-tested bit-identical to
+    /// [`scan_domain_stats`](crate::domains::scan_domain_stats).
+    fn domain_stats(&self) -> crate::domains::DomainStats {
+        crate::domains::DomainStats {
+            domains: self.domains,
+            borders: self.borders,
+        }
     }
 }
 

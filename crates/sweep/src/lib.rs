@@ -67,5 +67,8 @@ pub mod scenario;
 
 pub use driver::{run_sharded, thread_count};
 pub use grid::{Cell, InitSpec, PlacementSpec, SweepGrid};
-pub use runners::{run_cover_cell, run_scenario, CoverSample, ProcessKind};
+pub use runners::{
+    run_cover_cell, run_scenario, run_scenario_cycle, run_scenario_observed, CoverSample,
+    ProcessKind,
+};
 pub use scenario::{GraphFamily, Scenario, ScenarioGrid};

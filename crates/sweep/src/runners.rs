@@ -11,8 +11,9 @@
 
 use crate::grid::Cell;
 use crate::scenario::Scenario;
+use rotor_core::limit::{self, CycleInfo};
 use rotor_core::rng::{stream, STREAM_WALK};
-use rotor_core::{CoverProcess, Engine, RingRouter};
+use rotor_core::{CoverProcess, Engine, Observer, RingRouter};
 use rotor_graph::{NodeId, PortGraph};
 use rotor_walks::ParallelWalk;
 use std::time::Instant;
@@ -110,13 +111,47 @@ pub fn run_cover_cell(cell: &Cell, kind: ProcessKind, max_rounds: u64) -> CoverS
 /// Panics if `kind` is [`ProcessKind::RotorRing`] and the scenario's
 /// family is not the ring.
 pub fn run_scenario(sc: &Scenario, kind: ProcessKind, max_rounds: u64) -> CoverSample {
+    // The unobserved run is the observed one with a no-op instrument —
+    // one dispatch to keep in sync, and the "observation must not perturb
+    // the run" pins hold by construction.
+    struct NoOp;
+    impl<P: CoverProcess + ?Sized> Observer<P> for NoOp {
+        fn observe(&mut self, _: &P) {}
+    }
+    run_scenario_observed(sc, kind, max_rounds, &mut NoOp)
+}
+
+/// Measures one [`Scenario`] like [`run_scenario`], with a per-round
+/// [`Observer`] attached to the drive loop
+/// ([`run_observed`](CoverProcess::run_observed)): the observer sees the
+/// initial configuration and every round's result, whichever backend the
+/// `(family, kind)` dispatch selects.
+///
+/// The observer bound is "attaches to every backend this runner can
+/// build" — any `impl Observer<P> for all P: CoverProcess` instrument
+/// (such as [`DomainSampler`](rotor_core::domains::DomainSampler))
+/// satisfies it directly.
+///
+/// # Panics
+///
+/// Panics if `kind` is [`ProcessKind::RotorRing`] and the scenario's
+/// family is not the ring.
+pub fn run_scenario_observed<O>(
+    sc: &Scenario,
+    kind: ProcessKind,
+    max_rounds: u64,
+    observer: &mut O,
+) -> CoverSample
+where
+    O: Observer<RingRouter> + for<'g> Observer<Engine<'g>> + for<'g> Observer<ParallelWalk<'g>>,
+{
     let positions = sc.positions();
     let on_ring = sc.family.is_ring();
     match kind {
         ProcessKind::Rotor | ProcessKind::RotorRing if on_ring => {
             let dirs = sc.ring_directions(&positions);
             let mut p = RingRouter::new(sc.n, &positions, &dirs);
-            finish(sc, &mut p, max_rounds)
+            finish_observed(sc, &mut p, max_rounds, observer)
         }
         ProcessKind::RotorRing => {
             panic!(
@@ -129,16 +164,39 @@ pub fn run_scenario(sc: &Scenario, kind: ProcessKind, max_rounds: u64) -> CoverS
             let ids: Vec<NodeId> = positions.iter().map(|&v| NodeId::new(v)).collect();
             let ptrs = initial_pointers(sc, &g, &positions, &ids);
             let mut p = Engine::with_pointers(&g, &ids, ptrs);
-            finish(sc, &mut p, max_rounds)
+            finish_observed(sc, &mut p, max_rounds, observer)
         }
         ProcessKind::RandomWalk => {
             let g = sc.graph();
             let ids: Vec<NodeId> = positions.iter().map(|&v| NodeId::new(v)).collect();
-            // Walk trajectories draw from their own stream, domain-
-            // separated from placement/init randomness.
             let mut p = ParallelWalk::new(&g, &ids, stream(sc.seed, STREAM_WALK));
-            finish(sc, &mut p, max_rounds)
+            finish_observed(sc, &mut p, max_rounds, observer)
         }
+    }
+}
+
+/// The `(μ, λ)` limit-cycle structure of one rotor [`Scenario`] (§4),
+/// measured with the [`CycleProbe`](rotor_core::limit::CycleProbe) /
+/// [`TailProbe`](rotor_core::limit::TailProbe) observer passes of
+/// [`limit::probe_cycle`] — so Brent return-time probing runs on *any*
+/// graph family the scenario layer can build, not just the ring.
+///
+/// The ring family keeps the [`RingRouter`] fast path (snapshotting
+/// [`RingState`](rotor_core::RingState)); every other family probes the
+/// general [`Engine`]. The random-walk baseline has no deterministic limit
+/// cycle, so there is no `ProcessKind` here: this is a rotor instrument.
+///
+/// Returns `None` when no cycle is certified within `max_steps` rounds.
+pub fn run_scenario_cycle(sc: &Scenario, max_steps: u64) -> Option<CycleInfo> {
+    let positions = sc.positions();
+    if sc.family.is_ring() {
+        let dirs = sc.ring_directions(&positions);
+        limit::probe_cycle(|| RingRouter::new(sc.n, &positions, &dirs), max_steps)
+    } else {
+        let g = sc.graph();
+        let ids: Vec<NodeId> = positions.iter().map(|&v| NodeId::new(v)).collect();
+        let ptrs = initial_pointers(sc, &g, &positions, &ids);
+        limit::probe_cycle(|| Engine::with_pointers(&g, &ids, ptrs.clone()), max_steps)
     }
 }
 
@@ -156,11 +214,16 @@ fn initial_pointers(sc: &Scenario, g: &PortGraph, positions: &[u32], ids: &[Node
     }
 }
 
-/// Shared tail of every runner: timed `run_until_covered` plus sample
+/// Shared tail of every runner: timed `run_observed` plus sample
 /// assembly — exactly the surface [`CoverProcess`] promises.
-fn finish<P: CoverProcess>(sc: &Scenario, p: &mut P, max_rounds: u64) -> CoverSample {
+fn finish_observed<P: CoverProcess>(
+    sc: &Scenario,
+    p: &mut P,
+    max_rounds: u64,
+    observer: &mut impl Observer<P>,
+) -> CoverSample {
     let start = Instant::now();
-    let cover = p.run_until_covered(max_rounds);
+    let cover = p.run_observed(max_rounds, observer);
     let nanos = start.elapsed().as_nanos() as u64;
     CoverSample {
         n: sc.n,
@@ -334,6 +397,78 @@ mod tests {
             assert_eq!(auto.cover, explicit.cover);
             assert_eq!(auto.cover, general.cover, "fast path == general engine");
         }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_on_every_kind() {
+        use rotor_core::domains::DomainSampler;
+        for family in [GraphFamily::Ring, GraphFamily::Torus { rows: 4, cols: 8 }] {
+            let sc = Scenario {
+                family,
+                n: 32,
+                k: 2,
+                seed_index: 0,
+                seed: 0xBEE,
+                placement: PlacementSpec::Random,
+                init: InitSpec::Random,
+            };
+            for kind in [
+                ProcessKind::Rotor,
+                ProcessKind::RotorGeneral,
+                ProcessKind::RandomWalk,
+            ] {
+                let plain = run_scenario(&sc, kind, 1 << 22);
+                let mut sampler = DomainSampler::every(1);
+                let observed = run_scenario_observed(&sc, kind, 1 << 22, &mut sampler);
+                assert_eq!(
+                    (plain.cover, plain.rounds),
+                    (observed.cover, observed.rounds),
+                    "{} {kind:?}: observation must not perturb the run",
+                    family.label()
+                );
+                // initial configuration + one sample per round
+                assert_eq!(sampler.samples.len() as u64, observed.rounds + 1);
+                let last = sampler.samples.last().unwrap();
+                assert_eq!((last.domains, last.borders), (1, 0), "covered: one domain");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_cycle_matches_direct_ring_cycle() {
+        use rotor_core::limit;
+        let sc = Scenario {
+            family: GraphFamily::Ring,
+            n: 16,
+            k: 2,
+            seed_index: 0,
+            seed: 0xF00D,
+            placement: PlacementSpec::AllOnOne,
+            init: InitSpec::TowardNearestAgent,
+        };
+        let via_scenario = run_scenario_cycle(&sc, 10_000_000).unwrap();
+        let positions = sc.positions();
+        let dirs = sc.ring_directions(&positions);
+        let direct = limit::ring_cycle(16, &positions, &dirs, 10_000_000).unwrap();
+        assert_eq!(via_scenario, direct);
+    }
+
+    #[test]
+    fn scenario_cycle_on_non_ring_family_finds_lockin_period() {
+        // Single agent on the torus: the limit cycle is the Eulerian
+        // traversal, period exactly 2|E| (lock-in theorem).
+        let sc = Scenario {
+            family: GraphFamily::Torus { rows: 4, cols: 4 },
+            n: 16,
+            k: 1,
+            seed_index: 0,
+            seed: 0x70F5,
+            placement: PlacementSpec::AllOnOne,
+            init: InitSpec::Uniform(0),
+        };
+        let info = run_scenario_cycle(&sc, 10_000_000).unwrap();
+        let two_e = 2 * sc.graph().edge_count() as u64;
+        assert_eq!(info.period, two_e);
     }
 
     #[test]

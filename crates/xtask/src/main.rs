@@ -1,0 +1,117 @@
+//! `cargo run -p xtask` — workspace tooling for the `BENCH_*.json`
+//! experiment reports, so CI and local runs enforce the
+//! `rotor-experiment/1` contract with the *same* code (this used to be an
+//! inline Python heredoc in `ci.yml`).
+//!
+//! Subcommands:
+//!
+//! * `validate [--expect-threads N] [--max-n N] <files...>` — parse each
+//!   report with [`Json::parse`], assert the schema tag, the generic
+//!   curve/point invariants and the per-bench rules (see [`validate`]);
+//! * `compare <a.json> <b.json>` — assert two runs of the same experiment
+//!   agree on every deterministic field (timing-derived fields are
+//!   ignored), which is the CI determinism-drift gate between 1-thread and
+//!   2-thread reruns of the smoke sweeps.
+
+use rotor_analysis::report::Json;
+use std::process::ExitCode;
+
+mod compare;
+mod validate;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("validate") => run_validate(it.collect()),
+        Some("compare") => run_compare(it.collect()),
+        _ => {
+            eprintln!(
+                "usage: xtask validate [--expect-threads N] [--max-n N] <files...>\n       \
+                 xtask compare <a.json> <b.json>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    Json::parse(&body).map_err(|e| format!("{path}: invalid JSON: {e}"))
+}
+
+fn run_validate(args: Vec<&str>) -> ExitCode {
+    let mut opts = validate::Options::default();
+    let mut files = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--expect-threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.expect_threads = Some(v),
+                None => return usage_error("--expect-threads needs an integer"),
+            },
+            "--max-n" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.max_n = Some(v),
+                None => return usage_error("--max-n needs an integer"),
+            },
+            f => files.push(f),
+        }
+    }
+    if files.is_empty() {
+        return usage_error("validate needs at least one report file");
+    }
+    let mut failed = false;
+    for path in files {
+        match load(path).map(|report| validate::validate(&report, &opts)) {
+            Ok(errors) if errors.is_empty() => println!("ok: {path}"),
+            Ok(errors) => {
+                failed = true;
+                for e in errors {
+                    eprintln!("{path}: {e}");
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("{e}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_compare(args: Vec<&str>) -> ExitCode {
+    let [a_path, b_path] = args[..] else {
+        return usage_error("compare needs exactly two report files");
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (ra, rb) => {
+            for r in [ra, rb] {
+                if let Err(e) = r {
+                    eprintln!("{e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let diffs = compare::compare(&a, &b);
+    if diffs.is_empty() {
+        println!("ok: {a_path} and {b_path} agree on every deterministic field");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{a_path} vs {b_path}:");
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("xtask: {msg}");
+    ExitCode::FAILURE
+}

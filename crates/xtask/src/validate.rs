@@ -1,0 +1,536 @@
+//! The `rotor-experiment/1` report validator: generic schema / curve /
+//! point invariants plus per-bench rules keyed on the report's `bench`
+//! field. Returns every violation found (not just the first), each
+//! prefixed with its curve/point context.
+
+use rotor_analysis::report::{Json, SCHEMA};
+
+/// CI-context expectations applied on top of the intrinsic rules.
+#[derive(Default)]
+pub struct Options {
+    /// Require the report's `threads` field to equal this.
+    pub expect_threads: Option<u64>,
+    /// Require every curve's `meta.n` to stay at or below this (the smoke
+    /// grids are capped at n = 256).
+    pub max_n: Option<u64>,
+}
+
+/// Validates one parsed report; an empty vector means it conforms.
+pub fn validate(report: &Json, opts: &Options) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut err = |msg: String| errors.push(msg);
+
+    let Some(_) = report.as_obj() else {
+        return vec!["report is not a JSON object".into()];
+    };
+    match report.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => err(format!("schema tag {other:?}, expected {SCHEMA:?}")),
+    }
+    let bench = report.get("bench").and_then(Json::as_str).unwrap_or("");
+    if bench.is_empty() {
+        err("bench name missing or empty".into());
+    }
+    match report.get("threads").and_then(Json::as_u64) {
+        None => err("threads missing or not a positive integer".into()),
+        Some(0) => err("threads must be >= 1".into()),
+        Some(t) => {
+            if let Some(expect) = opts.expect_threads {
+                if t != expect {
+                    err(format!("threads = {t}, expected {expect}"));
+                }
+            }
+        }
+    }
+    if report.get("meta").and_then(Json::as_obj).is_none() {
+        err("meta missing or not an object".into());
+    }
+    let Some(curves) = report.get("curves").and_then(Json::as_arr) else {
+        errors.push("curves missing or not an array".into());
+        return errors;
+    };
+    if curves.is_empty() {
+        errors.push("curves must be non-empty".into());
+    }
+
+    let mut labels: Vec<&str> = Vec::new();
+    for (ci, curve) in curves.iter().enumerate() {
+        let label = curve.get("label").and_then(Json::as_str).unwrap_or("");
+        let ctx = if label.is_empty() {
+            format!("curve #{ci}")
+        } else {
+            format!("curve {label:?}")
+        };
+        let mut err = |msg: String| errors.push(format!("{ctx}: {msg}"));
+        if label.is_empty() {
+            err("label missing or empty".into());
+        } else if labels.contains(&label) {
+            err("duplicate label".into());
+        }
+        labels.push(label);
+
+        let meta = curve.get("meta").and_then(Json::as_obj);
+        if meta.is_none() {
+            err("meta missing or not an object".into());
+        }
+        if let (Some(cap), Some(n)) = (opts.max_n, curve.get("meta").and_then(|m| m.get("n"))) {
+            match n.as_u64() {
+                Some(n) if n <= cap => {}
+                other => err(format!("meta.n = {other:?} exceeds --max-n {cap}")),
+            }
+        }
+        match curve.get("fit") {
+            None => err("fit field missing (must be object or null)".into()),
+            Some(f) => check_fit(f, &mut err),
+        }
+        let Some(points) = curve.get("points").and_then(Json::as_arr) else {
+            err("points missing or not an array".into());
+            continue;
+        };
+        if points.is_empty() {
+            err("points must be non-empty".into());
+            continue;
+        }
+        let keys = |p: &Json| -> Vec<String> {
+            p.as_obj()
+                .map(|fields| fields.iter().map(|(k, _)| k.clone()).collect())
+                .unwrap_or_default()
+        };
+        let first_keys = keys(&points[0]);
+        for (pi, point) in points.iter().enumerate() {
+            let mut err = |msg: String| errors.push(format!("{ctx}: point #{pi}: {msg}"));
+            if point.get("x").and_then(Json::as_u64).is_none() {
+                err("x missing or not an unsigned integer".into());
+            }
+            if keys(point) != first_keys {
+                err(format!(
+                    "field set {:?} differs from the curve's first point {first_keys:?}",
+                    keys(point)
+                ));
+            }
+        }
+        check_bench_rules(bench, &ctx, curve, points, &mut errors);
+    }
+    check_report_rules(bench, report, curves, &mut errors);
+    errors
+}
+
+fn check_fit(fit: &Json, err: &mut impl FnMut(String)) {
+    if fit.is_null() {
+        return;
+    }
+    if fit.as_obj().is_none() {
+        err("fit must be an object or null".into());
+        return;
+    }
+    if fit.get("regime").and_then(Json::as_str).is_none() {
+        err("fit.regime missing or not a string".into());
+    }
+    for key in ["exponent", "power_residual"] {
+        if fit.get(key).and_then(Json::as_f64).is_none() {
+            err(format!("fit.{key} missing or not a number"));
+        }
+    }
+    for key in ["log_coefficient", "log_residual"] {
+        match fit.get(key) {
+            Some(v) if v.is_null() || v.as_f64().is_some() => {}
+            other => err(format!("fit.{key} = {other:?}, expected number or null")),
+        }
+    }
+}
+
+/// Whether the x coordinates are strictly increasing (every bench except
+/// `engine_throughput`, whose x is a node count across mixed graphs).
+fn check_x_increasing(ctx: &str, points: &[Json], errors: &mut Vec<String>) {
+    let xs: Vec<u64> = points.iter().filter_map(|p| p.get("x")?.as_u64()).collect();
+    if !xs.windows(2).all(|w| w[0] < w[1]) {
+        errors.push(format!("{ctx}: x must be strictly increasing, got {xs:?}"));
+    }
+}
+
+fn int_field(p: &Json, key: &str) -> Result<u64, String> {
+    p.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{key} missing or not an unsigned integer"))
+}
+
+fn num_field(p: &Json, key: &str) -> Result<f64, String> {
+    p.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{key} missing or not a number"))
+}
+
+/// Per-bench point rules. Unknown bench names only get the generic checks,
+/// so the validator does not reject future experiments out of hand.
+fn check_bench_rules(
+    bench: &str,
+    ctx: &str,
+    curve: &Json,
+    points: &[Json],
+    errors: &mut Vec<String>,
+) {
+    let meta_has = |key: &str| curve.get("meta").is_some_and(|m| m.get(key).is_some());
+    match bench {
+        "table1" => {
+            check_x_increasing(ctx, points, errors);
+            for (pi, p) in points.iter().enumerate() {
+                let mut err = |msg: String| errors.push(format!("{ctx}: point #{pi}: {msg}"));
+                // per-column shapes: `cover` for the deterministic worst/
+                // best placements, `median_cover` over seeds for random
+                if int_field(p, "cover").is_err() && int_field(p, "median_cover").is_err() {
+                    err("needs an integer cover or median_cover".into());
+                }
+                if p.get("rounds_per_sec").is_some() {
+                    match num_field(p, "rounds_per_sec") {
+                        Ok(r) if r > 0.0 => {}
+                        Ok(r) => err(format!("rounds_per_sec = {r} must be > 0")),
+                        Err(e) => err(e),
+                    }
+                }
+            }
+        }
+        "walk_vs_rotor" => {
+            check_x_increasing(ctx, points, errors);
+            for key in ["process", "placement", "n"] {
+                if !meta_has(key) {
+                    errors.push(format!("{ctx}: meta.{key} missing"));
+                }
+            }
+            for (pi, p) in points.iter().enumerate() {
+                let mut err = |msg: String| errors.push(format!("{ctx}: point #{pi}: {msg}"));
+                for key in ["median_cover", "covered"] {
+                    if let Err(e) = int_field(p, key) {
+                        err(e);
+                    }
+                }
+                match (int_field(p, "band_lo"), int_field(p, "band_hi")) {
+                    (Ok(lo), Ok(hi)) if lo <= hi => {}
+                    (Ok(lo), Ok(hi)) => err(format!("band_lo {lo} > band_hi {hi}")),
+                    (lo, hi) => {
+                        for r in [lo, hi] {
+                            if let Err(e) = r {
+                                err(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        "general_graphs" => {
+            check_x_increasing(ctx, points, errors);
+            if !meta_has("family") {
+                errors.push(format!("{ctx}: meta.family missing"));
+            }
+            for (pi, p) in points.iter().enumerate() {
+                let mut err = |msg: String| errors.push(format!("{ctx}: point #{pi}: {msg}"));
+                for key in ["median_cover", "single_domain_round"] {
+                    if let Err(e) = int_field(p, key) {
+                        err(e);
+                    }
+                }
+                match int_field(p, "max_domains") {
+                    Ok(d) if d >= 1 => {}
+                    Ok(d) => err(format!("max_domains = {d} must be >= 1")),
+                    Err(e) => err(e),
+                }
+                match num_field(p, "worst_ratio") {
+                    Ok(r) if r <= 4.0 => {}
+                    Ok(r) => err(format!("worst_ratio = {r} exceeds the 4.0 budget")),
+                    Err(e) => err(e),
+                }
+                match p.get("bound_2_d_e") {
+                    Some(v) if v.is_null() || v.as_u64().is_some() => {}
+                    other => err(format!("bound_2_d_e = {other:?}, expected int or null")),
+                }
+            }
+        }
+        "return_time" => {
+            check_x_increasing(ctx, points, errors);
+            for key in ["family", "n"] {
+                if !meta_has(key) {
+                    errors.push(format!("{ctx}: meta.{key} missing"));
+                }
+            }
+            for (pi, p) in points.iter().enumerate() {
+                let mut err = |msg: String| errors.push(format!("{ctx}: point #{pi}: {msg}"));
+                match p.get("found").and_then(Json::as_bool) {
+                    None => err("found missing or not a boolean".into()),
+                    Some(true) => {
+                        if let Err(e) = int_field(p, "tail") {
+                            err(e);
+                        }
+                        match int_field(p, "period") {
+                            Ok(period) if period >= 1 => {}
+                            Ok(period) => err(format!("period = {period} must be >= 1")),
+                            Err(e) => err(e),
+                        }
+                    }
+                    Some(false) => {
+                        for key in ["tail", "period"] {
+                            if !p.get(key).is_some_and(Json::is_null) {
+                                err(format!("{key} must be null when found is false"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        "engine_throughput" => {
+            for (pi, p) in points.iter().enumerate() {
+                match num_field(p, "rounds_per_sec") {
+                    Ok(r) if r > 0.0 => {}
+                    Ok(r) => {
+                        errors.push(format!("{ctx}: point #{pi}: rounds_per_sec = {r} not > 0"))
+                    }
+                    Err(e) => errors.push(format!("{ctx}: point #{pi}: {e}")),
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Per-bench report-level rules (cross-curve invariants).
+fn check_report_rules(bench: &str, report: &Json, curves: &[Json], errors: &mut Vec<String>) {
+    if bench == "walk_vs_rotor" {
+        let mut placements: Vec<&str> = curves
+            .iter()
+            .filter_map(|c| c.get("meta")?.get("placement")?.as_str())
+            .collect();
+        placements.sort_unstable();
+        placements.dedup();
+        if placements != ["all_on_one", "random"] {
+            errors.push(format!(
+                "placement columns {placements:?}, expected [\"all_on_one\", \"random\"]"
+            ));
+        }
+    }
+    if bench == "general_graphs" {
+        // The heredoc this validator replaced asserted the smoke sweep
+        // kept its non-ring grid; generalised: at least one curve must be
+        // a non-ring family.
+        let families: Vec<&str> = curves
+            .iter()
+            .filter_map(|c| c.get("meta")?.get("family")?.as_str())
+            .collect();
+        if !families.iter().any(|f| *f != "ring") {
+            errors.push(format!(
+                "families {families:?} must include at least one non-ring family"
+            ));
+        }
+        match report
+            .get("meta")
+            .and_then(|m| m.get("domain_sampler_speedup_n4096"))
+            .and_then(Json::as_f64)
+        {
+            Some(s) if s > 1.0 => {}
+            Some(s) => errors.push(format!(
+                "meta.domain_sampler_speedup_n4096 = {s} must be > 1 (incremental path slower than the scan?)"
+            )),
+            None => errors.push("meta.domain_sampler_speedup_n4096 missing".into()),
+        }
+    }
+    if bench == "return_time" {
+        let families: Vec<&str> = curves
+            .iter()
+            .filter_map(|c| c.get("meta")?.get("family")?.as_str())
+            .collect();
+        if !families.iter().any(|f| *f != "ring") {
+            errors.push(format!(
+                "families {families:?} must include at least one non-ring family \
+                 (the observer probes run on any scenario)"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal(bench: &str, points: &str, curve_meta: &str, report_meta: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"rotor-experiment/1","bench":"{bench}","threads":2,
+                 "meta":{report_meta},
+                 "curves":[{{"label":"c/1","meta":{curve_meta},"fit":null,
+                             "points":{points}}}]}}"#
+        ))
+        .expect("well-formed test report")
+    }
+
+    fn generic_ok() -> Json {
+        minimal(
+            "custom_bench",
+            r#"[{"x":1,"v":2},{"x":2,"v":3}]"#,
+            "{}",
+            "{}",
+        )
+    }
+
+    #[test]
+    fn accepts_minimal_generic_report() {
+        assert_eq!(
+            validate(&generic_ok(), &Options::default()),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_fields() {
+        let bad = Json::parse(r#"{"schema":"other/9","bench":"","threads":0,"meta":{}}"#).unwrap();
+        let errors = validate(&bad, &Options::default());
+        assert!(errors.iter().any(|e| e.contains("schema tag")));
+        assert!(errors.iter().any(|e| e.contains("bench name")));
+        assert!(errors.iter().any(|e| e.contains("threads")));
+        assert!(errors.iter().any(|e| e.contains("curves missing")));
+    }
+
+    #[test]
+    fn rejects_duplicate_labels_and_ragged_points() {
+        let report = Json::parse(
+            r#"{"schema":"rotor-experiment/1","bench":"b","threads":1,"meta":{},
+                "curves":[
+                  {"label":"a","meta":{},"fit":null,"points":[{"x":1,"v":2},{"x":2}]},
+                  {"label":"a","meta":{},"fit":null,"points":[{"x":1,"v":2}]}
+                ]}"#,
+        )
+        .unwrap();
+        let errors = validate(&report, &Options::default());
+        assert!(errors.iter().any(|e| e.contains("duplicate label")));
+        assert!(errors.iter().any(|e| e.contains("field set")));
+    }
+
+    #[test]
+    fn thread_and_n_expectations() {
+        let report = minimal("b", r#"[{"x":1}]"#, r#"{"n":512}"#, "{}");
+        let errors = validate(
+            &report,
+            &Options {
+                expect_threads: Some(4),
+                max_n: Some(256),
+            },
+        );
+        assert!(errors.iter().any(|e| e.contains("threads = 2, expected 4")));
+        assert!(errors.iter().any(|e| e.contains("exceeds --max-n")));
+    }
+
+    #[test]
+    fn return_time_rules() {
+        let ok = Json::parse(
+            r#"{"schema":"rotor-experiment/1","bench":"return_time","threads":2,"meta":{},
+                "curves":[
+                  {"label":"brent/ring/n16","meta":{"family":"ring","n":16},"fit":null,
+                   "points":[{"x":1,"found":true,"tail":91,"period":32}]},
+                  {"label":"brent/torus_4x4/n16","meta":{"family":"torus_4x4","n":16},"fit":null,
+                   "points":[{"x":1,"found":false,"tail":null,"period":null}]}
+                ]}"#,
+        )
+        .unwrap();
+        assert_eq!(validate(&ok, &Options::default()), Vec::<String>::new());
+
+        // found=true with null period, period 0, and a ring-only sweep all fail
+        let bad = Json::parse(
+            r#"{"schema":"rotor-experiment/1","bench":"return_time","threads":2,"meta":{},
+                "curves":[
+                  {"label":"brent/ring/n16","meta":{"family":"ring","n":16},"fit":null,
+                   "points":[{"x":1,"found":true,"tail":null,"period":null},
+                             {"x":2,"found":true,"tail":3,"period":0}]}
+                ]}"#,
+        )
+        .unwrap();
+        let errors = validate(&bad, &Options::default());
+        assert!(errors.iter().any(|e| e.contains("tail missing")));
+        assert!(errors.iter().any(|e| e.contains("period = 0")));
+        assert!(errors.iter().any(|e| e.contains("non-ring family")));
+    }
+
+    #[test]
+    fn general_graphs_rules() {
+        let ok = minimal(
+            "general_graphs",
+            r#"[{"x":1,"median_cover":100,"bound_2_d_e":500,"worst_ratio":0.5,
+                 "max_domains":2,"single_domain_round":7}]"#,
+            r#"{"family":"torus_4x4","n":16}"#,
+            r#"{"domain_sampler_speedup_n4096":40.0}"#,
+        );
+        assert_eq!(validate(&ok, &Options::default()), Vec::<String>::new());
+
+        let bad = minimal(
+            "general_graphs",
+            r#"[{"x":1,"median_cover":100,"bound_2_d_e":null,"worst_ratio":9.0,
+                 "max_domains":0,"single_domain_round":7}]"#,
+            "{}",
+            "{}",
+        );
+        let errors = validate(&bad, &Options::default());
+        assert!(errors.iter().any(|e| e.contains("worst_ratio")));
+        assert!(errors.iter().any(|e| e.contains("max_domains")));
+        assert!(errors.iter().any(|e| e.contains("meta.family")));
+        assert!(errors.iter().any(|e| e.contains("domain_sampler_speedup")));
+
+        // a sweep that silently dropped its non-ring grids must fail
+        let ring_only = minimal(
+            "general_graphs",
+            r#"[{"x":1,"median_cover":100,"bound_2_d_e":500,"worst_ratio":0.5,
+                 "max_domains":1,"single_domain_round":0}]"#,
+            r#"{"family":"ring","n":16}"#,
+            r#"{"domain_sampler_speedup_n4096":40.0}"#,
+        );
+        assert!(validate(&ring_only, &Options::default())
+            .iter()
+            .any(|e| e.contains("non-ring family")));
+    }
+
+    #[test]
+    fn walk_vs_rotor_requires_both_placements() {
+        let report = Json::parse(
+            r#"{"schema":"rotor-experiment/1","bench":"walk_vs_rotor","threads":2,"meta":{},
+                "curves":[
+                  {"label":"rotor/random/n64","meta":{"process":"rotor","placement":"random","n":64},
+                   "fit":null,
+                   "points":[{"x":1,"covered":5,"median_cover":9,"band_lo":8,"band_hi":10}]}
+                ]}"#,
+        )
+        .unwrap();
+        let errors = validate(&report, &Options::default());
+        assert!(errors.iter().any(|e| e.contains("placement columns")));
+    }
+
+    #[test]
+    fn x_monotonicity_is_per_bench() {
+        let throughput = minimal(
+            "engine_throughput",
+            r#"[{"x":4096,"rounds_per_sec":1.0},{"x":1024,"rounds_per_sec":2.0}]"#,
+            "{}",
+            "{}",
+        );
+        assert_eq!(
+            validate(&throughput, &Options::default()),
+            Vec::<String>::new()
+        );
+
+        let table = minimal(
+            "table1",
+            r#"[{"x":2,"cover":5,"rounds_per_sec":1.0},{"x":1,"cover":9,"rounds_per_sec":1.0}]"#,
+            "{}",
+            "{}",
+        );
+        let errors = validate(&table, &Options::default());
+        assert!(errors.iter().any(|e| e.contains("strictly increasing")));
+    }
+
+    #[test]
+    fn table1_accepts_cover_or_median_cover_columns() {
+        let ok = minimal(
+            "table1",
+            r#"[{"x":1,"median_cover":5},{"x":2,"median_cover":4}]"#,
+            "{}",
+            "{}",
+        );
+        assert_eq!(validate(&ok, &Options::default()), Vec::<String>::new());
+        let bad = minimal("table1", r#"[{"x":1,"other":5}]"#, "{}", "{}");
+        assert!(validate(&bad, &Options::default())
+            .iter()
+            .any(|e| e.contains("cover or median_cover")));
+    }
+}
