@@ -14,12 +14,25 @@
 //! * automatic regime classification ([`fit_regime`]) of measured
 //!   cover-time curves `T(k)` against the paper's ring regimes — the
 //!   `Θ(n²/log k)` worst case versus the `Θ(n²/k²)`–`Θ(n²/k)` best-case
-//!   band — emitting a [`Regime`] verdict plus the fitted exponent;
+//!   band — emitting a [`Regime`] verdict plus the fitted exponent, with
+//!   [`fit_regime_scaled`] taking `2·D·|E|`-normalised measurements so one
+//!   pooled fit spans several graph sizes, and [`speedup_exponent`] for
+//!   paired walk-vs-rotor curves;
 //! * the shared experiment-report schema ([`report`]):
 //!   [`ExperimentReport`](report::ExperimentReport) /
 //!   [`Curve`](report::Curve) and the dependency-free
 //!   [`Json`](report::Json) builder every `BENCH_<name>.json` is written
 //!   through.
+//!
+//! ```
+//! use rotor_analysis::{fit_regime, median, Regime};
+//!
+//! // Cover-time medians over k: the sweep aggregation in two lines.
+//! let mut samples = [41_000u64, 39_500, 40_250];
+//! assert_eq!(median(&mut samples), Some(40_250));
+//! let curve = [(1u64, 160_000u64), (2, 40_000), (4, 10_000), (8, 2_500)];
+//! assert_eq!(fit_regime(&curve).unwrap().regime, Regime::QuadraticSpeedup);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -235,10 +248,47 @@ fn least_squares(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
 /// assert_eq!(fit_regime(&quad).unwrap().regime, Regime::QuadraticSpeedup);
 /// ```
 pub fn fit_regime(points: &[(u64, u64)]) -> Option<RegimeFit> {
-    let usable: Vec<(u64, u64)> = points
+    fit_regime_scaled(
+        &points
+            .iter()
+            .map(|&(k, t)| (k, t as f64))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// [`fit_regime`] over pre-normalised measurements: each point is
+/// `(k, T/scale)` where `scale` is the caller's per-point normaliser —
+/// canonically the family's `2·D·|E|` lock-in bound, which makes curves
+/// from *different* graph sizes (or different seeded graph draws)
+/// commensurable so one pooled fit per family is meaningful.
+///
+/// For a single curve at fixed `n` the scale is a shared constant, so the
+/// fitted exponent (a log-log slope) is identical to the unscaled fit —
+/// normalisation only moves the intercept. It changes the answer exactly
+/// when points with *different* bounds are pooled:
+///
+/// ```
+/// use rotor_analysis::fit_regime_scaled;
+/// // T(n, k) = (2·D·|E|)·k⁻¹ at two sizes: pooled raw points mix the two
+/// // n-levels, the bound-scaled points collapse onto one k⁻¹ law.
+/// let pts: Vec<(u64, f64)> = [256u64, 4096]
+///     .iter()
+///     .flat_map(|&n| {
+///         let bound = (n * n) as f64; // ring: 2·(n/2)·n
+///         (0..4).map(move |i| {
+///             let k = 1u64 << (2 * i);
+///             (k, (bound / k as f64) / bound)
+///         })
+///     })
+///     .collect();
+/// let fit = fit_regime_scaled(&pts).unwrap();
+/// assert!((fit.exponent + 1.0).abs() < 1e-9);
+/// ```
+pub fn fit_regime_scaled(points: &[(u64, f64)]) -> Option<RegimeFit> {
+    let usable: Vec<(u64, f64)> = points
         .iter()
         .copied()
-        .filter(|&(k, t)| k > 0 && t > 0)
+        .filter(|&(k, t)| k > 0 && t > 0.0 && t.is_finite())
         .collect();
     let mut ks: Vec<u64> = usable.iter().map(|&(k, _)| k).collect();
     ks.sort_unstable();
@@ -252,11 +302,11 @@ pub fn fit_regime(points: &[(u64, u64)]) -> Option<RegimeFit> {
     }
 
     let xs: Vec<f64> = usable.iter().map(|&(k, _)| (k as f64).ln()).collect();
-    let ys: Vec<f64> = usable.iter().map(|&(_, t)| (t as f64).ln()).collect();
+    let ys: Vec<f64> = usable.iter().map(|&(_, t)| t.ln()).collect();
     let (_, alpha, power_residual) = least_squares(&xs, &ys);
 
     // Log model ln T = b − γ·ln(ln k), meaningful only for k ≥ 2.
-    let log_subset: Vec<(u64, u64)> = usable.iter().copied().filter(|&(k, _)| k >= 2).collect();
+    let log_subset: Vec<(u64, f64)> = usable.iter().copied().filter(|&(k, _)| k >= 2).collect();
     let mut log_ks: Vec<u64> = log_subset.iter().map(|&(k, _)| k).collect();
     log_ks.sort_unstable();
     log_ks.dedup();
@@ -269,7 +319,7 @@ pub fn fit_regime(points: &[(u64, u64)]) -> Option<RegimeFit> {
             .map(|&(k, _)| (k as f64).ln().ln())
             .collect();
         let px: Vec<f64> = log_subset.iter().map(|&(k, _)| (k as f64).ln()).collect();
-        let ly: Vec<f64> = log_subset.iter().map(|&(_, t)| (t as f64).ln()).collect();
+        let ly: Vec<f64> = log_subset.iter().map(|&(_, t)| t.ln()).collect();
         let (_, slope, res) = least_squares(&lx, &ly);
         let (_, _, pres) = least_squares(&px, &ly);
         (Some(-slope), Some(res), Some(pres))
@@ -299,6 +349,24 @@ pub fn fit_regime(points: &[(u64, u64)]) -> Option<RegimeFit> {
         log_coefficient,
         log_residual,
     })
+}
+
+/// The fitted walk-over-rotor speed-up exponent of a paired curve: the OLS
+/// log-log slope of the ratio `T_walk(k) / T_rotor(k)` over the shared `k`
+/// support, which equals the difference of the two curves' fitted power
+/// exponents. Positive when the deterministic rotor-router's advantage
+/// *grows* with `k`.
+///
+/// ```
+/// use rotor_analysis::{fit_regime, speedup_exponent};
+/// // rotor ~ k⁻², walk ~ k⁻¹: the rotor advantage grows like k¹.
+/// let rotor: Vec<(u64, u64)> = (0..5).map(|i| { let k = 1u64 << i; (k, 1 << (20 - 2 * i)) }).collect();
+/// let walk: Vec<(u64, u64)> = (0..5).map(|i| { let k = 1u64 << i; (k, 1 << (20 - i)) }).collect();
+/// let s = speedup_exponent(&fit_regime(&rotor).unwrap(), &fit_regime(&walk).unwrap());
+/// assert!((s - 1.0).abs() < 1e-9);
+/// ```
+pub fn speedup_exponent(rotor: &RegimeFit, walk: &RegimeFit) -> f64 {
+    walk.exponent - rotor.exponent
 }
 
 #[cfg(test)]
@@ -452,6 +520,76 @@ mod tests {
             "one distinct k"
         );
         assert_eq!(fit_regime(&[(0, 10), (1, 0)]), None, "zeros filtered out");
+    }
+
+    #[test]
+    fn scaled_fit_with_shared_scale_matches_unscaled() {
+        for alpha in [-2.0, -1.0, 0.3] {
+            let raw = power_curve(alpha, 0.05);
+            let plain = fit_regime(&raw).unwrap();
+            // One shared normaliser (a fixed-n curve's 2·D·|E| bound) only
+            // moves the intercept: slope, residuals and verdict survive.
+            let scaled: Vec<(u64, f64)> =
+                raw.iter().map(|&(k, t)| (k, t as f64 / 77_000.0)).collect();
+            let norm = fit_regime_scaled(&scaled).unwrap();
+            assert_eq!(plain.regime, norm.regime);
+            assert!((plain.exponent - norm.exponent).abs() < 1e-9);
+            assert!((plain.power_residual - norm.power_residual).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaled_fit_pools_across_sizes() {
+        // T(n, k) = bound(n)·k^(−1)·jitter at three sizes, with the
+        // campaign's k-axis shape: k runs up to n/16, so larger sizes
+        // reach larger k. Pooling the raw points then correlates large k
+        // with large bounds and wrecks the slope; scaling each point by
+        // its own size's bound recovers α = −1 cleanly.
+        let mut raw: Vec<(u64, u64)> = Vec::new();
+        let mut scaled: Vec<(u64, f64)> = Vec::new();
+        for (ni, bound) in [65_536u64, 1_048_576, 16_777_216].iter().enumerate() {
+            for i in 0..(2 + ni as u64) {
+                let k = 1u64 << (2 * i);
+                let t = (*bound as f64 / k as f64 * jitter(ni as u64 * 4 + i, 0.03)).round();
+                raw.push((k, t as u64));
+                scaled.push((k, t / *bound as f64));
+            }
+        }
+        let pooled = fit_regime_scaled(&scaled).unwrap();
+        assert_eq!(pooled.regime, Regime::LinearSpeedup);
+        assert!((pooled.exponent + 1.0).abs() < 0.1, "{}", pooled.exponent);
+        // the unscaled pool is dominated by the size spread, not the k law
+        let unscaled = fit_regime(&raw).unwrap();
+        assert!(
+            (unscaled.exponent + 1.0).abs() > 0.3,
+            "raw pooled slope {} should be badly biased",
+            unscaled.exponent
+        );
+    }
+
+    #[test]
+    fn scaled_fit_degenerate_inputs() {
+        assert_eq!(fit_regime_scaled(&[]), None);
+        assert_eq!(fit_regime_scaled(&[(4, 0.5)]), None, "single point");
+        assert_eq!(
+            fit_regime_scaled(&[(1, 0.5), (2, 0.5), (4, 0.5)]),
+            None,
+            "constant ratios"
+        );
+        assert_eq!(
+            fit_regime_scaled(&[(1, f64::NAN), (2, 0.5), (0, 1.0), (4, -1.0)]),
+            None,
+            "non-finite / non-positive / k = 0 all filtered"
+        );
+    }
+
+    #[test]
+    fn speedup_exponent_is_fit_difference() {
+        let rotor = fit_regime(&power_curve(-2.0, 0.0)).unwrap();
+        let walk = fit_regime(&power_curve(-1.0, 0.0)).unwrap();
+        let s = speedup_exponent(&rotor, &walk);
+        assert!((s - 1.0).abs() < 0.05, "{s}");
+        assert!(speedup_exponent(&walk, &rotor) < 0.0, "antisymmetric");
     }
 
     #[test]

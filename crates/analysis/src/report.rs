@@ -164,7 +164,7 @@ impl Json {
     pub fn parse(s: &str) -> Result<Json, String> {
         let bytes = s.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing content at byte {pos}"));
@@ -250,8 +250,20 @@ fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// Maximum container nesting [`Json::parse`] accepts. The parser is
+/// recursive, so unbounded depth would let a hostile (or simply corrupt)
+/// report overflow the stack instead of returning an error; every report
+/// this workspace writes nests 5 levels deep.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(b, pos);
+    if depth >= MAX_PARSE_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_PARSE_DEPTH} at byte {}",
+            *pos
+        ));
+    }
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
         Some(b'n') => parse_literal(b, pos, "null", Json::Null),
@@ -267,7 +279,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(b, pos)?);
+                items.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -292,7 +304,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, b':')?;
-                fields.push((key, parse_value(b, pos)?));
+                fields.push((key, parse_value(b, pos, depth + 1)?));
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -366,9 +378,12 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             return Ok(Json::Int(i));
         }
     }
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    // Values overflowing f64 parse as ±inf, which render() would silently
+    // rewrite to null — reject them here so parse stays render's inverse.
+    match text.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+        _ => Err(format!("invalid number '{text}' at byte {start}")),
+    }
 }
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -469,7 +484,9 @@ impl Point {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// The point as a [`Json`] object (`x` first, then the fields in
+    /// emission order).
+    pub fn to_json(&self) -> Json {
         let mut obj = vec![("x".to_string(), Json::Int(self.x))];
         obj.extend(self.fields.iter().cloned());
         Json::Obj(obj)
@@ -508,7 +525,10 @@ impl Curve {
         self
     }
 
-    fn to_json(&self) -> Json {
+    /// The curve as a [`Json`] object in the `rotor-experiment/1` layout —
+    /// public so campaign state files can persist per-unit curves and
+    /// splice them back into an assembled report.
+    pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("label".to_string(), Json::Str(self.label.clone())),
             ("meta".to_string(), Json::Obj(self.meta.clone())),
@@ -728,6 +748,10 @@ mod tests {
             Json::parse("99999999999999999999999").unwrap(),
             Json::Num(_)
         ));
+        // beyond f64: overflows to inf, which render() would turn into
+        // null — rejected so parse stays the inverse of render
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
     }
 
     #[test]
@@ -759,6 +783,133 @@ mod tests {
         assert!(Json::parse("0.5").is_ok());
         assert!(Json::parse("-0.5").is_ok());
         assert!(Json::parse("0e0").is_ok());
+    }
+
+    #[test]
+    fn parse_escape_sequences_exhaustively() {
+        // every single-character escape, in one string
+        let v = Json::parse(r#""\"\\\/\b\f\n\r\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("\"\\/\u{8}\u{c}\n\r\t"));
+        // \u escapes: BMP, mixed-case hex, surrogate pair, NUL
+        let v = Json::parse("\"\\u0041\\u00e9\\u265E\\ud83d\\uDE00\\u0000\"").unwrap();
+        assert_eq!(v.as_str(), Some("A\u{e9}\u{265e}\u{1f600}\u{0}"));
+        // render→parse agree on control characters (render emits \u00XX)
+        let rendered = Json::Str("a\u{1}\u{1f}b".into()).render();
+        assert_eq!(
+            Json::parse(&rendered).unwrap().as_str(),
+            Some("a\u{1}\u{1f}b")
+        );
+        // malformed escapes all fail with an error, never panic
+        for bad in [
+            r#""\x""#,           // unknown escape
+            r#""\u12""#,         // truncated hex
+            r#""\u12g4""#,       // non-hex digit
+            r#""\ud800""#,       // lone high surrogate
+            r#""\ud800A""#,      // high surrogate + non-surrogate
+            r#""\ud800\u0041""#, // high surrogate + non-low-surrogate escape
+            "\"\\",              // escape at end of input
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must fail");
+        }
+        // a lone low surrogate is not a valid scalar value
+        assert!(Json::parse(r#""\udc00""#).is_err());
+    }
+
+    #[test]
+    fn parse_deep_nesting_is_bounded_not_fatal() {
+        let nest = |depth: usize| format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        // comfortably deep documents parse fine...
+        let deep_ok = Json::parse(&nest(MAX_PARSE_DEPTH - 1)).unwrap();
+        assert_eq!(deep_ok.render(), nest(MAX_PARSE_DEPTH - 1));
+        // ...and past the cap the parser returns an error instead of
+        // recursing toward a stack overflow (100k-deep would crash an
+        // unbounded recursive parser).
+        for depth in [MAX_PARSE_DEPTH, MAX_PARSE_DEPTH + 1, 100_000] {
+            let err = Json::parse(&nest(depth)).unwrap_err();
+            assert!(err.contains("nesting"), "{err}");
+        }
+        // mixed object/array nesting counts against the same budget
+        let mixed = format!(
+            "{}1{}",
+            r#"{"a":["#.repeat(MAX_PARSE_DEPTH / 2 + 1),
+            r#"]}"#.repeat(MAX_PARSE_DEPTH / 2 + 1)
+        );
+        assert!(Json::parse(&mixed).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn parse_malformed_structures_report_positions() {
+        for (bad, needle) in [
+            ("{\"a\":1,}", "expected"),        // trailing comma in object
+            ("[1,2,]", "expected"),            // trailing comma in array
+            ("{\"a\":1 \"b\":2}", "expected"), // missing comma
+            ("{1:2}", "expected"),             // non-string key
+            ("tru", "literal"),
+            ("truex", "trailing"), // literal parses, junk follows
+            ("\u{7f}", "unexpected"),
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?} gave {err:?}");
+        }
+        // invalid UTF-8 inside a string errors cleanly (from_utf8 guard)
+        assert!(
+            Json::parse("\"\u{fffd}\"").is_ok(),
+            "replacement char is fine"
+        );
+    }
+
+    /// Deterministic pseudo-random [`Json`] generator for the round-trip
+    /// property test: splitmix-style mixing, bounded depth and width.
+    fn arbitrary_json(state: &mut u64, depth: usize) -> Json {
+        let mut next = || {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*state >> 33) as u32
+        };
+        let choice = if depth >= 5 { next() % 5 } else { next() % 7 };
+        match choice {
+            0 => Json::Null,
+            1 => Json::Bool(next() % 2 == 0),
+            2 => Json::Int(u64::from(next())),
+            3 => {
+                // finite floats only (NaN renders as null by design)
+                let x = f64::from(next() as i32) / 64.0;
+                Json::Num(x)
+            }
+            4 => {
+                let pool = ['a', '"', '\\', '\n', 'é', '😀', '\u{3}', 'z'];
+                let len = (next() % 6) as usize;
+                Json::Str((0..len).map(|_| pool[(next() % 8) as usize]).collect())
+            }
+            5 => {
+                let len = (next() % 4) as usize;
+                Json::Arr((0..len).map(|_| arbitrary_json(state, depth + 1)).collect())
+            }
+            _ => {
+                let len = (next() % 4) as usize;
+                Json::Obj(
+                    (0..len)
+                        .map(|i| (format!("k{i}"), arbitrary_json(state, depth + 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_property() {
+        // For 300 seeded pseudo-random documents: parse(render(v)) must
+        // succeed and re-render byte-identically (render is injective on
+        // the parser's image, so this pins both directions).
+        for seed in 0..300u64 {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let v = arbitrary_json(&mut state, 0);
+            let body = v.render();
+            let reparsed = Json::parse(&body)
+                .unwrap_or_else(|e| panic!("seed {seed}: {body:?} failed to reparse: {e}"));
+            assert_eq!(reparsed.render(), body, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,286 +1,74 @@
 //! Cover times on general graphs against the `2·D·|E|` lock-in-regime
-//! bound (Yanovski et al., §1.2) — the sanity anchor for everything the
-//! engine reports off the ring.
+//! bound (Yanovski et al., §1.2) — now a **thin smoke-mode wrapper over
+//! the `family-speedup` campaign definitions** in `xtask::campaign`, so
+//! the CI smoke grid and the committed full-campaign baseline can never
+//! structurally drift: same unit code, same aggregation, same validator.
 //!
-//! The first consumer of the scenario layer's family axis: each family's
-//! (family, n, k, seed) grid is a [`ScenarioGrid`] fanned through the
-//! same sharded driver as the ring sweeps, with [`ProcessKind::Rotor`]
-//! auto-dispatch (ring cells take the `RingRouter` fast path, every other
-//! family runs the general `Engine`). Seeded families (`RandomRegular`)
-//! get independent graph draws per repetition, so the bound and the ratio
-//! are computed per scenario.
+//! The campaign measures every shape-free family (ring, path, complete,
+//! star, binary tree, random-regular d4) with **paired rotor-router and
+//! random-walk columns** over one shared [`ScenarioGrid`] per
+//! `(family, n)` unit, fits each curve's `2·D·|E|`-scaled speed-up
+//! exponent and pools a per-family exponent across sizes. This bench runs
+//! the *smoke* scale (n ≤ 256); the full `n ∈ {256, 1024, 4096}` pass is
+//! `cargo run --release -p xtask -- campaign family-speedup`, which is
+//! what regenerates the committed `BENCH_general_graphs.json`.
 //!
-//! Writes `BENCH_general_graphs.json` (schema `rotor-experiment/1`).
-//! `ROTOR_SWEEP_SMOKE=1` shrinks the sweep to one non-ring family grid
-//! (torus, n = 256) and still writes the canonical path so CI can assert
-//! the schema; `-- --test` runs tiny grids and writes nothing.
+//! `ROTOR_SWEEP_SMOKE=1` writes the smoke report to the canonical path so
+//! CI can assert the schema; `-- --test` runs tiny grids and writes
+//! nothing; a plain `cargo bench` run also writes nothing (the committed
+//! baseline belongs to the campaign).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
+use rotor_bench::report::write_summary;
 use rotor_core::domains::{scan_domain_stats, DomainSampler};
 use rotor_core::{init::PointerInit, placement::Placement, CoverProcess, RingRouter};
-use rotor_graph::algo;
 use rotor_sweep::{
-    run_scenario, run_scenario_observed, run_sharded, thread_count, GraphFamily, InitSpec,
-    PlacementSpec, ProcessKind, Scenario, ScenarioGrid,
+    run_scenario, thread_count, GraphFamily, InitSpec, PlacementSpec, ProcessKind, ScenarioGrid,
 };
-use std::time::Instant;
+use xtask::campaign::{self, CampaignState, Scale, FAMILY_SPEEDUP};
+use xtask::validate;
 
 const SMOKE_ENV: &str = "ROTOR_SWEEP_SMOKE";
 
-/// One family sweep: the family, its compatible node counts, and how many
-/// independent repetitions (> 1 only pays off for seeded families).
-struct FamilySweep {
-    family: GraphFamily,
-    ns: Vec<usize>,
-    seed_count: usize,
-}
-
-fn sweeps(test_mode: bool, smoke: bool) -> (Vec<FamilySweep>, Vec<usize>, bool) {
-    if test_mode || smoke {
-        let sweeps = if smoke {
-            vec![FamilySweep {
-                family: GraphFamily::Torus { rows: 16, cols: 16 },
-                ns: vec![256],
-                seed_count: 1,
-            }]
-        } else {
-            vec![
-                FamilySweep {
-                    family: GraphFamily::Torus { rows: 8, cols: 8 },
-                    ns: vec![64],
-                    seed_count: 1,
-                },
-                FamilySweep {
-                    family: GraphFamily::Lollipop {
-                        clique: 12,
-                        tail: 12,
-                    },
-                    ns: vec![24],
-                    seed_count: 1,
-                },
-            ]
-        };
-        (sweeps, vec![1, 4], smoke && !test_mode)
-    } else {
-        (
-            vec![
-                FamilySweep {
-                    family: GraphFamily::Ring,
-                    ns: vec![256],
-                    seed_count: 1,
-                },
-                FamilySweep {
-                    family: GraphFamily::Torus { rows: 16, cols: 16 },
-                    ns: vec![256],
-                    seed_count: 1,
-                },
-                FamilySweep {
-                    family: GraphFamily::Hypercube { dim: 8 },
-                    ns: vec![256],
-                    seed_count: 1,
-                },
-                FamilySweep {
-                    family: GraphFamily::BinaryTree,
-                    ns: vec![255],
-                    seed_count: 1,
-                },
-                FamilySweep {
-                    family: GraphFamily::Lollipop {
-                        clique: 24,
-                        tail: 24,
-                    },
-                    ns: vec![48],
-                    seed_count: 1,
-                },
-                FamilySweep {
-                    family: GraphFamily::RandomRegular { degree: 4 },
-                    ns: vec![256],
-                    seed_count: 3,
-                },
-            ],
-            vec![1, 4],
-            true,
-        )
-    }
-}
-
-/// The `2·D·|E|` lock-in bound of this scenario's graph (per scenario:
-/// seeded families draw a fresh graph each repetition).
-fn lockin_bound(sc: &Scenario) -> u64 {
-    let g = sc.graph();
-    2 * u64::from(algo::diameter(&g)) * g.edge_count() as u64
-}
-
-/// One sharded cell's measurement: the cover round, its lock-in bound, and
-/// the §2.2 domain dynamics sampled every round through the observer hook.
-struct CellResult {
-    cover: u64,
-    bound: u64,
-    /// Peak domain count over the run (cyclic index space).
-    max_domains: u32,
-    /// First round from which the domain count stays at 1.
-    single_domain_round: u64,
-}
-
-fn run_cell(sc: &Scenario) -> CellResult {
-    let bound = lockin_bound(sc);
-    // Every-round sampling is O(1) per round on the ring family (the
-    // RingRouter's incremental counters) and one O(n) scan elsewhere —
-    // affordable here because non-ring covers stay within 4·bound rounds.
-    let mut sampler = DomainSampler::every(1);
-    let sample = run_scenario_observed(sc, ProcessKind::Rotor, 4 * bound, &mut sampler);
-    let cover = sample.cover.expect("cover within the lock-in regime");
-    let max_domains = sampler
-        .samples
-        .iter()
-        .map(|s| s.domains)
-        .max()
-        .expect("observer saw round 0");
-    // The last round whose sample was still plural, plus one sample; the
-    // covering sample always has a single domain, so this is in range.
-    let single_domain_round = sampler
-        .samples
-        .iter()
-        .rposition(|s| s.domains != 1)
-        .map(|i| sampler.samples[i + 1].round)
-        .unwrap_or(0);
-    CellResult {
-        cover,
-        bound,
-        max_domains,
-        single_domain_round,
-    }
-}
-
-/// Wall-clock ratio of every-round §2.2 sampling through the `O(n)` scan
-/// fallback versus the `RingRouter`'s incremental counters, at n = 4096 —
-/// the acceptance smoke for the incremental instrumentation path (must be
-/// ≥ 5×; in practice it is orders of magnitude).
-fn domain_sampler_speedup() -> f64 {
-    let n = 4096;
-    let rounds = 2048;
-    let starts = Placement::EquallySpaced { offset: 0 }.positions(n, 8);
-    let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
-
-    let mut incremental = RingRouter::new(n, &starts, &dirs);
-    let mut sampler = DomainSampler::every(1);
-    let t0 = Instant::now();
-    incremental.run_observed(rounds, &mut sampler);
-    let incremental_time = t0.elapsed();
-
-    let mut scanned = RingRouter::new(n, &starts, &dirs);
-    let mut scans = Vec::new();
-    let t0 = Instant::now();
-    scanned.run_observed(rounds, &mut |p: &RingRouter| {
-        scans.push(scan_domain_stats(p))
-    });
-    let scan_time = t0.elapsed();
-
-    // Identical runs: the two instruments must agree sample for sample.
-    assert_eq!(sampler.samples.len(), scans.len());
-    assert!(sampler
-        .samples
-        .iter()
-        .zip(&scans)
-        .all(|(s, sc)| (s.domains, s.borders) == (sc.domains, sc.borders)));
-    scan_time.as_secs_f64() / incremental_time.as_secs_f64().max(f64::EPSILON)
-}
-
 fn bench(c: &mut Criterion) {
     let smoke = std::env::var(SMOKE_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
-    let (family_sweeps, ks, write) = sweeps(c.is_test_mode(), smoke);
+    let scale = if c.is_test_mode() {
+        Scale::Test
+    } else {
+        Scale::Smoke
+    };
     let threads = thread_count();
+
     // Acceptance smoke for the incremental §2.2 path: every-round domain
     // sampling on the ring must beat the scan fallback by at least 5×.
-    let sampler_speedup = domain_sampler_speedup();
+    let sampler_speedup = campaign::domain_sampler_speedup();
     assert!(
         sampler_speedup >= 5.0,
         "incremental domain sampling only {sampler_speedup:.1}x faster than the scan"
     );
     println!("domain sampler speedup at n=4096 (incremental vs scan): {sampler_speedup:.0}x");
-    let mut report = ExperimentReport::new("general_graphs", threads as u64)
-        .meta(
-            "ks",
-            Json::Arr(ks.iter().map(|&k| Json::Int(k as u64)).collect()),
-        )
-        .meta("domain_sampler_speedup_n4096", Json::Num(sampler_speedup));
 
-    for fs in &family_sweeps {
-        let grid = ScenarioGrid {
-            families: vec![fs.family],
-            ns: fs.ns.clone(),
-            ks: ks.clone(),
-            seed_count: fs.seed_count,
-            base_seed: 0x6E6E,
-            placement: PlacementSpec::AllOnOne,
-            init: InitSpec::TowardNearestAgent,
-        };
-        let scenarios = grid.scenarios();
-        // Each worker derives its scenario's bound itself, so the
-        // diameter BFS scans run sharded alongside the cover runs rather
-        // than as a serial pre-pass; the §2.2 domain sampler rides along
-        // through the observer hook.
-        let samples: Vec<CellResult> = run_sharded(&scenarios, threads, |_, sc| run_cell(sc));
+    // The campaign definitions, ephemeral state (every unit computed
+    // fresh — the smoke grids are seconds, not hours).
+    let mut state = CampaignState::ephemeral(FAMILY_SPEEDUP, scale);
+    let report = campaign::family_speedup_report(scale, threads, &mut state)
+        .expect("campaign smoke assembles");
+    // The wrapper enforces the same contract the campaign CLI does: a
+    // report this bench would write must already pass `xtask validate`.
+    let errors = validate::validate(&report, &validate::Options::default());
+    assert!(
+        errors.is_empty(),
+        "smoke report fails validation: {errors:?}"
+    );
 
-        for (ni, &n) in fs.ns.iter().enumerate() {
-            let mut curve = Curve::new(format!("{}/n{n}", fs.family.label()))
-                .meta("family", Json::Str(fs.family.label()))
-                .meta("n", Json::Int(n as u64))
-                .meta("seed_count", Json::Int(fs.seed_count as u64));
-            for (ki, &k) in ks.iter().enumerate() {
-                let point = &samples[grid.point_range(0, ni, ki)];
-                let mut covers: Vec<u64> = point.iter().map(|r| r.cover).collect();
-                let median = rotor_analysis::median(&mut covers).expect("non-empty");
-                // worst observed cover/bound over the repetitions — must
-                // stay <= 4.0 by the budget, and in practice well under 2
-                let worst_ratio = point
-                    .iter()
-                    .map(|r| r.cover as f64 / r.bound as f64)
-                    .fold(f64::MIN, f64::max);
-                // Seeded families draw a different graph (hence bound) per
-                // repetition; a single bound field would then disagree
-                // with the cross-repetition median, so emit it only when
-                // it is the same for every sample behind the point.
-                let bound = point[0].bound;
-                let shared_bound = if point.iter().all(|r| r.bound == bound) {
-                    Json::Int(bound)
-                } else {
-                    Json::Null
-                };
-                // Domain dynamics (§2.2, in the cyclic index space):
-                // worst repetition's peak domain count and the latest
-                // round from which the count settles at a single domain.
-                let max_domains = point
-                    .iter()
-                    .map(|r| r.max_domains)
-                    .max()
-                    .expect("non-empty");
-                let single_domain_round = point
-                    .iter()
-                    .map(|r| r.single_domain_round)
-                    .max()
-                    .expect("non-empty");
-                curve.points.push(Point::new(
-                    k as u64,
-                    [
-                        ("median_cover", Json::Int(median)),
-                        ("bound_2_d_e", shared_bound),
-                        ("worst_ratio", Json::Num(worst_ratio)),
-                        ("max_domains", Json::Int(u64::from(max_domains))),
-                        ("single_domain_round", Json::Int(single_domain_round)),
-                    ],
-                ));
-            }
-            report.curves.push(curve);
-        }
-    }
-
-    if write {
-        let path = report.write();
+    if smoke && !c.is_test_mode() {
+        let path = write_summary("general_graphs", &report);
         println!("wrote {}", path.display());
     } else {
-        println!("test mode: BENCH_general_graphs.json left untouched");
+        println!(
+            "test mode: BENCH_general_graphs.json left untouched \
+             (full baseline: cargo run --release -p xtask -- campaign family-speedup)"
+        );
     }
 
     // Interactive timing: one non-ring rotor cell through the scenario

@@ -29,7 +29,7 @@
 //!   is left untouched, like every other bench target).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rotor_analysis::{bootstrap_median_band, fit_regime};
+use rotor_analysis::{bootstrap_median_band, fit_regime, speedup_exponent};
 use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
 use rotor_sweep::{
     run_scenario, run_sharded, thread_count, CoverSample, GraphFamily, InitSpec, PlacementSpec,
@@ -184,14 +184,14 @@ fn bench(c: &mut Criterion) {
             // Exponent of the walk/rotor ratio curve in k: the OLS
             // log-log slope of the ratio equals the difference of the two
             // curves' slopes over the shared k support.
-            let speedup_exponent = match (&rotor_curve.fit, &walk_curve.fit) {
-                (Some(r), Some(w)) => Json::Num(w.exponent - r.exponent),
+            let speedup = match (&rotor_curve.fit, &walk_curve.fit) {
+                (Some(r), Some(w)) => Json::Num(speedup_exponent(r, w)),
                 _ => Json::Null,
             };
             speedups.push(Json::obj([
                 ("placement", Json::Str(col.into())),
                 ("n", Json::Int(n as u64)),
-                ("speedup_exponent", speedup_exponent),
+                ("speedup_exponent", speedup),
             ]));
             report.curves.push(rotor_curve);
             report.curves.push(walk_curve);

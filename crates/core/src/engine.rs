@@ -360,6 +360,10 @@ impl<'g> Engine<'g> {
 }
 
 impl crate::CoverProcess for Engine<'_> {
+    fn kind_name(&self) -> &'static str {
+        "rotor_general"
+    }
+
     fn node_count(&self) -> usize {
         self.g.node_count()
     }

@@ -79,6 +79,13 @@ pub trait Probe<P: CoverProcess + ?Sized>: Observer<P> {
 /// assert!(cover(&mut r).is_some());
 /// ```
 pub trait CoverProcess {
+    /// A short stable label naming this process implementation — the
+    /// backend column of report curves (`"rotor_ring"`, `"rotor_general"`,
+    /// `"walk"`). Sweeps that dispatch over `(family, kind)` record it per
+    /// sample, so a report always says which engine actually ran a cell
+    /// (the `Rotor` auto kind resolves differently per family).
+    fn kind_name(&self) -> &'static str;
+
     /// Number of nodes in the underlying graph.
     fn node_count(&self) -> usize;
 

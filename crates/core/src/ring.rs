@@ -515,6 +515,10 @@ impl RingRouter {
 }
 
 impl crate::CoverProcess for RingRouter {
+    fn kind_name(&self) -> &'static str {
+        "rotor_ring"
+    }
+
     fn node_count(&self) -> usize {
         self.n as usize
     }

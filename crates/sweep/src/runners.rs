@@ -65,6 +65,11 @@ pub struct CoverSample {
     pub rounds: u64,
     /// Wall-clock nanoseconds spent simulating (excludes setup).
     pub nanos: u64,
+    /// Which engine actually ran the cell
+    /// ([`CoverProcess::kind_name`]): `"rotor_ring"`, `"rotor_general"`
+    /// or `"walk"` — the resolution of the [`ProcessKind::Rotor`]
+    /// auto-dispatch, recorded so reports can carry the backend column.
+    pub backend: &'static str,
 }
 
 impl CoverSample {
@@ -233,6 +238,7 @@ fn finish_observed<P: CoverProcess>(
         cover,
         rounds: p.round(),
         nanos,
+        backend: p.kind_name(),
     }
 }
 
@@ -376,6 +382,39 @@ mod tests {
             let walk = run_scenario(&sc, ProcessKind::RandomWalk, 1 << 22);
             assert!(walk.cover.is_some(), "{} walk covers", family.label());
         }
+    }
+
+    #[test]
+    fn samples_record_the_dispatched_backend() {
+        // The Rotor auto kind resolves per family; the sample's backend
+        // column (CoverProcess::kind_name) records what actually ran.
+        let sc = |family| Scenario {
+            family,
+            n: 32,
+            k: 2,
+            seed_index: 0,
+            seed: 0xFACE,
+            placement: PlacementSpec::AllOnOne,
+            init: InitSpec::TowardNearestAgent,
+        };
+        let ring = sc(GraphFamily::Ring);
+        let torus = sc(GraphFamily::Torus { rows: 4, cols: 8 });
+        assert_eq!(
+            run_scenario(&ring, ProcessKind::Rotor, 1 << 22).backend,
+            "rotor_ring"
+        );
+        assert_eq!(
+            run_scenario(&ring, ProcessKind::RotorGeneral, 1 << 22).backend,
+            "rotor_general"
+        );
+        assert_eq!(
+            run_scenario(&torus, ProcessKind::Rotor, 1 << 22).backend,
+            "rotor_general"
+        );
+        assert_eq!(
+            run_scenario(&torus, ProcessKind::RandomWalk, 1 << 22).backend,
+            "walk"
+        );
     }
 
     #[test]

@@ -10,6 +10,21 @@
 //! sweep driver in `rotor-sweep` runs rotor-router and random-walk cells
 //! through identical machinery and the two cover-time curves come out of
 //! one grid.
+//!
+//! ```
+//! use rotor_core::CoverProcess;
+//! use rotor_graph::{builders, NodeId};
+//! use rotor_walks::ParallelWalk;
+//!
+//! // Two seeded walkers on a 32-node ring: deterministic per seed, so a
+//! // sweep cell reproduces exactly on any thread count.
+//! let g = builders::ring(32);
+//! let starts = [NodeId::new(0), NodeId::new(16)];
+//! let mut w = ParallelWalk::new(&g, &starts, 7);
+//! let cover = w.run_until_covered(1_000_000).expect("walkers cover the ring");
+//! assert!(cover > 0 && w.visited_count() == 32);
+//! assert_eq!(w.kind_name(), "walk");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -128,6 +143,10 @@ impl<'g> ParallelWalk<'g> {
 }
 
 impl CoverProcess for ParallelWalk<'_> {
+    fn kind_name(&self) -> &'static str {
+        "walk"
+    }
+
     fn node_count(&self) -> usize {
         self.g.node_count()
     }

@@ -9,7 +9,7 @@ use rotor_analysis::report::Json;
 /// measurements and the worker-thread count itself. Everything else in a
 /// report is derived deterministically from the grid seeds, so any other
 /// difference is a reproducibility bug.
-const NONDETERMINISTIC_FIELDS: &[&str] = &[
+pub const NONDETERMINISTIC_FIELDS: &[&str] = &[
     "threads",
     "rounds_per_sec",
     "nanos",
@@ -90,11 +90,15 @@ fn diff(a: &Json, b: &Json, path: &str, out: &mut Vec<String>) {
 
 /// Scalar equality: exact for ints/strings/bools/null, bitwise for floats
 /// (deterministic reruns reproduce float aggregates bit-for-bit because
-/// the sweep driver restores cell order before aggregation).
+/// the sweep driver restores cell order before aggregation). An integral
+/// `Num` equals the same-valued `Int`: the two render identically (`0.0`
+/// is written as `0`), so a parse→render round trip legitimately moves a
+/// value between the variants and must not read as drift.
 fn values_equal(a: &Json, b: &Json) -> bool {
     match (a, b) {
         (Json::Int(x), Json::Int(y)) => x == y,
         (Json::Num(x), Json::Num(y)) => x.to_bits() == y.to_bits(),
+        (Json::Int(i), Json::Num(x)) | (Json::Num(x), Json::Int(i)) => *x == *i as f64,
         (Json::Str(x), Json::Str(y)) => x == y,
         (Json::Bool(x), Json::Bool(y)) => x == y,
         (Json::Null, Json::Null) => true,

@@ -1,0 +1,43 @@
+//! # xtask
+//!
+//! Workspace tooling for the `BENCH_*.json` experiment reports and the
+//! full-scale sweep campaigns, so CI, local runs and multi-day campaign
+//! passes all enforce the `rotor-experiment/1` contract with the *same*
+//! code. The `cargo run -p xtask -- <subcommand>` binary is a thin argv
+//! shim over this library; the `general_graphs` bench target links the
+//! library directly and runs the [`campaign`] definitions in smoke mode,
+//! which is what keeps the CI grid and the committed full-campaign
+//! baseline structurally identical.
+//!
+//! * [`validate`] — schema, curve/point invariants and per-bench rules
+//!   for every report (`xtask validate <files…>`);
+//! * [`compare`] — deterministic-field diff between two runs of the same
+//!   experiment (`xtask compare a.json b.json`, the CI 1-vs-2-thread
+//!   determinism gate);
+//! * [`campaign`] — named, resumable sweep campaigns
+//!   (`xtask campaign family-speedup`, `xtask campaign ring-large-n`).
+//!
+//! ```
+//! use rotor_analysis::report::Json;
+//! use xtask::validate::{validate, Options};
+//!
+//! let report = Json::parse(
+//!     r#"{"schema":"rotor-experiment/1","bench":"demo","threads":2,"meta":{},
+//!         "curves":[{"label":"c/1","meta":{},"fit":null,
+//!                    "points":[{"x":1,"v":3},{"x":2,"v":5}]}]}"#,
+//! )
+//! .unwrap();
+//! assert!(validate(&report, &Options::default()).is_empty());
+//!
+//! // A wrong schema tag (or any per-bench violation) is reported, not
+//! // panicked on — the CLI turns the list into exit status 1.
+//! let stale = Json::parse(r#"{"schema":"rotor-experiment/0","bench":"demo"}"#).unwrap();
+//! assert!(!validate(&stale, &Options::default()).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod compare;
+pub mod validate;

@@ -1,23 +1,29 @@
 //! `cargo run -p xtask` — workspace tooling for the `BENCH_*.json`
 //! experiment reports, so CI and local runs enforce the
 //! `rotor-experiment/1` contract with the *same* code (this used to be an
-//! inline Python heredoc in `ci.yml`).
+//! inline Python heredoc in `ci.yml`). The logic lives in the `xtask`
+//! library (shared with the bench targets); this binary only parses argv.
 //!
 //! Subcommands:
 //!
 //! * `validate [--expect-threads N] [--max-n N] <files...>` — parse each
 //!   report with [`Json::parse`], assert the schema tag, the generic
-//!   curve/point invariants and the per-bench rules (see [`validate`]);
+//!   curve/point invariants and the per-bench rules (see
+//!   [`xtask::validate`]);
 //! * `compare <a.json> <b.json>` — assert two runs of the same experiment
 //!   agree on every deterministic field (timing-derived fields are
 //!   ignored), which is the CI determinism-drift gate between 1-thread and
-//!   2-thread reruns of the smoke sweeps.
+//!   2-thread reruns of the smoke sweeps;
+//! * `campaign <name> [--smoke] [--threads N] [--out PATH] [--state PATH]
+//!   [--fresh]` — run a named, resumable sweep campaign (see
+//!   [`xtask::campaign`]): completed units are answered from the state
+//!   file, the assembled report is validated and written to the
+//!   campaign's canonical `BENCH_<bench>.json` (or `--out`).
 
 use rotor_analysis::report::Json;
+use std::path::PathBuf;
 use std::process::ExitCode;
-
-mod compare;
-mod validate;
+use xtask::{campaign, compare, validate};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,10 +31,13 @@ fn main() -> ExitCode {
     match it.next() {
         Some("validate") => run_validate(it.collect()),
         Some("compare") => run_compare(it.collect()),
+        Some("campaign") => run_campaign(it.collect()),
         _ => {
             eprintln!(
                 "usage: xtask validate [--expect-threads N] [--max-n N] <files...>\n       \
-                 xtask compare <a.json> <b.json>"
+                 xtask compare <a.json> <b.json>\n       \
+                 xtask campaign <{}> [--smoke] [--threads N] [--out PATH] [--state PATH] [--fresh]",
+                campaign::NAMES.join("|")
             );
             ExitCode::FAILURE
         }
@@ -108,6 +117,65 @@ fn run_compare(args: Vec<&str>) -> ExitCode {
             eprintln!("  {d}");
         }
         ExitCode::FAILURE
+    }
+}
+
+fn run_campaign(args: Vec<&str>) -> ExitCode {
+    let mut name: Option<&str> = None;
+    let mut smoke = false;
+    let mut fresh = false;
+    let mut threads: Option<usize> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut state: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--smoke" => smoke = true,
+            "--fresh" => fresh = true,
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => threads = Some(v),
+                _ => return usage_error("--threads needs a positive integer"),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage_error("--out needs a path"),
+            },
+            "--state" => match it.next() {
+                Some(p) => state = Some(PathBuf::from(p)),
+                None => return usage_error("--state needs a path"),
+            },
+            other if name.is_none() && !other.starts_with('-') => name = Some(other),
+            other => return usage_error(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(name) = name else {
+        return usage_error(&format!(
+            "campaign needs a name ({})",
+            campaign::NAMES.join(", ")
+        ));
+    };
+    let scale = if smoke {
+        campaign::Scale::Smoke
+    } else {
+        campaign::Scale::Full
+    };
+    let threads = threads.unwrap_or_else(rotor_sweep::thread_count);
+    match campaign::run(name, scale, threads, out, state, fresh) {
+        Ok(summary) => {
+            println!(
+                "campaign {name} ({}) done: {} unit(s) computed, {} resumed, {} thread(s)",
+                scale.tag(),
+                summary.computed,
+                summary.resumed,
+                threads
+            );
+            println!("wrote {} (validated)", summary.out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask campaign: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -218,29 +218,89 @@ fn check_bench_rules(
         }
         "general_graphs" => {
             check_x_increasing(ctx, points, errors);
-            if !meta_has("family") {
-                errors.push(format!("{ctx}: meta.family missing"));
+            for key in ["family", "n", "process"] {
+                if !meta_has(key) {
+                    errors.push(format!("{ctx}: meta.{key} missing"));
+                }
+            }
+            let process = curve
+                .get("meta")
+                .and_then(|m| m.get("process"))
+                .and_then(Json::as_str)
+                .unwrap_or("");
+            match process {
+                // The paired rotor column: covers against the 2·D·|E|
+                // bound plus the §2.2 domain dynamics.
+                "rotor" => {
+                    for (pi, p) in points.iter().enumerate() {
+                        let mut err =
+                            |msg: String| errors.push(format!("{ctx}: point #{pi}: {msg}"));
+                        for key in ["median_cover", "single_domain_round"] {
+                            if let Err(e) = int_field(p, key) {
+                                err(e);
+                            }
+                        }
+                        if let Err(e) = num_field(p, "median_ratio") {
+                            err(e);
+                        }
+                        match int_field(p, "max_domains") {
+                            Ok(d) if d >= 1 => {}
+                            Ok(d) => err(format!("max_domains = {d} must be >= 1")),
+                            Err(e) => err(e),
+                        }
+                        match num_field(p, "worst_ratio") {
+                            Ok(r) if r <= 4.0 => {}
+                            Ok(r) => err(format!("worst_ratio = {r} exceeds the 4.0 budget")),
+                            Err(e) => err(e),
+                        }
+                        match p.get("bound_2_d_e") {
+                            Some(v) if v.is_null() || v.as_u64().is_some() => {}
+                            other => err(format!("bound_2_d_e = {other:?}, expected int or null")),
+                        }
+                    }
+                }
+                // The paired random-walk column: the budget does not
+                // apply (walks legitimately exceed 2·D·|E|), a cell may
+                // time out, so cover fields are nullable with an
+                // explicit covered count.
+                "walk" => {
+                    for (pi, p) in points.iter().enumerate() {
+                        let mut err =
+                            |msg: String| errors.push(format!("{ctx}: point #{pi}: {msg}"));
+                        if let Err(e) = int_field(p, "covered") {
+                            err(e);
+                        }
+                        for key in ["median_cover", "median_ratio", "walk_over_rotor"] {
+                            match p.get(key) {
+                                Some(v) if v.is_null() || v.as_f64().is_some() => {}
+                                other => err(format!("{key} = {other:?}, expected number or null")),
+                            }
+                        }
+                    }
+                }
+                other => errors.push(format!(
+                    "{ctx}: meta.process {other:?} must be \"rotor\" or \"walk\""
+                )),
+            }
+        }
+        "ring_large_n" => {
+            check_x_increasing(ctx, points, errors);
+            for key in ["placement", "n", "process"] {
+                if !meta_has(key) {
+                    errors.push(format!("{ctx}: meta.{key} missing"));
+                }
             }
             for (pi, p) in points.iter().enumerate() {
                 let mut err = |msg: String| errors.push(format!("{ctx}: point #{pi}: {msg}"));
-                for key in ["median_cover", "single_domain_round"] {
-                    if let Err(e) = int_field(p, key) {
-                        err(e);
-                    }
+                let has_cover = int_field(p, "cover").is_ok();
+                let has_median = p
+                    .get("median_cover")
+                    .is_some_and(|v| v.is_null() || v.as_u64().is_some());
+                if has_median && int_field(p, "covered").is_err() {
+                    err("median_cover column needs an integer covered count".into());
                 }
-                match int_field(p, "max_domains") {
-                    Ok(d) if d >= 1 => {}
-                    Ok(d) => err(format!("max_domains = {d} must be >= 1")),
-                    Err(e) => err(e),
-                }
-                match num_field(p, "worst_ratio") {
-                    Ok(r) if r <= 4.0 => {}
-                    Ok(r) => err(format!("worst_ratio = {r} exceeds the 4.0 budget")),
-                    Err(e) => err(e),
-                }
-                match p.get("bound_2_d_e") {
-                    Some(v) if v.is_null() || v.as_u64().is_some() => {}
-                    other => err(format!("bound_2_d_e = {other:?}, expected int or null")),
+                if !has_cover && !has_median {
+                    err("needs cover, or median_cover (int or null) with covered".into());
                 }
             }
         }
@@ -328,6 +388,80 @@ fn check_report_rules(bench: &str, report: &Json, curves: &[Json], errors: &mut 
                 "meta.domain_sampler_speedup_n4096 = {s} must be > 1 (incremental path slower than the scan?)"
             )),
             None => errors.push("meta.domain_sampler_speedup_n4096 missing".into()),
+        }
+        // Paired columns: every family measured with the rotor-router
+        // must also carry its random-walk baseline, and vice versa.
+        let families_of = |process: &str| -> Vec<&str> {
+            let mut fams: Vec<&str> = curves
+                .iter()
+                .filter(|c| {
+                    c.get("meta")
+                        .and_then(|m| m.get("process"))
+                        .and_then(Json::as_str)
+                        == Some(process)
+                })
+                .filter_map(|c| c.get("meta")?.get("family")?.as_str())
+                .collect();
+            fams.sort_unstable();
+            fams.dedup();
+            fams
+        };
+        let rotor_families = families_of("rotor");
+        let walk_families = families_of("walk");
+        if rotor_families != walk_families {
+            errors.push(format!(
+                "rotor families {rotor_families:?} and walk families {walk_families:?} \
+                 must pair up"
+            ));
+        }
+        // The per-family 2·D·|E|-scaled exponent summary: one entry per
+        // measured family, exponents numeric or null (a degenerate fit).
+        match report
+            .get("meta")
+            .and_then(|m| m.get("speedups"))
+            .and_then(Json::as_arr)
+        {
+            None => errors.push("meta.speedups missing or not an array".into()),
+            Some(entries) => {
+                let mut summarised: Vec<&str> = Vec::new();
+                for (ei, entry) in entries.iter().enumerate() {
+                    let mut err = |msg: String| errors.push(format!("meta.speedups[{ei}]: {msg}"));
+                    match entry.get("family").and_then(Json::as_str) {
+                        Some(f) => summarised.push(f),
+                        None => err("family missing or not a string".into()),
+                    }
+                    for key in ["rotor_exponent", "walk_exponent", "speedup_exponent"] {
+                        match entry.get(key) {
+                            Some(v) if v.is_null() || v.as_f64().is_some() => {}
+                            other => err(format!("{key} = {other:?}, expected number or null")),
+                        }
+                    }
+                }
+                summarised.sort_unstable();
+                summarised.dedup();
+                if !rotor_families.is_empty() && summarised != rotor_families {
+                    errors.push(format!(
+                        "meta.speedups families {summarised:?} must cover the measured \
+                         families {rotor_families:?}"
+                    ));
+                }
+            }
+        }
+    }
+    if bench == "ring_large_n" {
+        // The campaign must keep all three table1 columns next to the
+        // paired random column.
+        let mut placements: Vec<&str> = curves
+            .iter()
+            .filter_map(|c| c.get("meta")?.get("placement")?.as_str())
+            .collect();
+        placements.sort_unstable();
+        placements.dedup();
+        if placements != ["all_on_one", "equally_spaced", "random"] {
+            errors.push(format!(
+                "placement columns {placements:?}, expected \
+                 [\"all_on_one\", \"equally_spaced\", \"random\"]"
+            ));
         }
     }
     if bench == "return_time" {
@@ -444,22 +578,38 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("non-ring family")));
     }
 
+    /// A well-formed paired general_graphs report (one family, one n).
+    fn paired_general_graphs(family: &str, speedups_family: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"rotor-experiment/1","bench":"general_graphs","threads":2,
+                 "meta":{{"domain_sampler_speedup_n4096":40.0,
+                          "speedups":[{{"family":"{speedups_family}","rotor_exponent":-1.2,
+                                        "walk_exponent":-0.9,"speedup_exponent":0.3}}]}},
+                 "curves":[
+                   {{"label":"rotor/{family}/n64",
+                     "meta":{{"process":"rotor","family":"{family}","n":64}},"fit":null,
+                     "points":[{{"x":1,"median_cover":100,"median_ratio":0.5,
+                                 "bound_2_d_e":200,"worst_ratio":0.6,
+                                 "max_domains":2,"single_domain_round":7}}]}},
+                   {{"label":"walk/{family}/n64",
+                     "meta":{{"process":"walk","family":"{family}","n":64}},"fit":null,
+                     "points":[{{"x":1,"covered":3,"median_cover":180,
+                                 "median_ratio":0.9,"walk_over_rotor":1.8}}]}}
+                 ]}}"#
+        ))
+        .expect("well-formed test report")
+    }
+
     #[test]
     fn general_graphs_rules() {
-        let ok = minimal(
-            "general_graphs",
-            r#"[{"x":1,"median_cover":100,"bound_2_d_e":500,"worst_ratio":0.5,
-                 "max_domains":2,"single_domain_round":7}]"#,
-            r#"{"family":"torus_4x4","n":16}"#,
-            r#"{"domain_sampler_speedup_n4096":40.0}"#,
-        );
+        let ok = paired_general_graphs("torus_4x4", "torus_4x4");
         assert_eq!(validate(&ok, &Options::default()), Vec::<String>::new());
 
         let bad = minimal(
             "general_graphs",
-            r#"[{"x":1,"median_cover":100,"bound_2_d_e":null,"worst_ratio":9.0,
-                 "max_domains":0,"single_domain_round":7}]"#,
-            "{}",
+            r#"[{"x":1,"median_cover":100,"median_ratio":0.2,"bound_2_d_e":null,
+                 "worst_ratio":9.0,"max_domains":0,"single_domain_round":7}]"#,
+            r#"{"process":"rotor"}"#,
             "{}",
         );
         let errors = validate(&bad, &Options::default());
@@ -467,18 +617,76 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("max_domains")));
         assert!(errors.iter().any(|e| e.contains("meta.family")));
         assert!(errors.iter().any(|e| e.contains("domain_sampler_speedup")));
+        assert!(errors.iter().any(|e| e.contains("meta.speedups")));
+
+        // a rotor column whose walk pair is missing must fail
+        let unpaired = minimal(
+            "general_graphs",
+            r#"[{"x":1,"median_cover":100,"median_ratio":0.5,"bound_2_d_e":200,
+                 "worst_ratio":0.6,"max_domains":2,"single_domain_round":7}]"#,
+            r#"{"process":"rotor","family":"path","n":64}"#,
+            r#"{"domain_sampler_speedup_n4096":40.0,
+                "speedups":[{"family":"path","rotor_exponent":null,
+                             "walk_exponent":null,"speedup_exponent":null}]}"#,
+        );
+        assert!(validate(&unpaired, &Options::default())
+            .iter()
+            .any(|e| e.contains("pair up")));
 
         // a sweep that silently dropped its non-ring grids must fail
-        let ring_only = minimal(
-            "general_graphs",
-            r#"[{"x":1,"median_cover":100,"bound_2_d_e":500,"worst_ratio":0.5,
-                 "max_domains":1,"single_domain_round":0}]"#,
-            r#"{"family":"ring","n":16}"#,
-            r#"{"domain_sampler_speedup_n4096":40.0}"#,
-        );
+        let ring_only = paired_general_graphs("ring", "ring");
         assert!(validate(&ring_only, &Options::default())
             .iter()
             .any(|e| e.contains("non-ring family")));
+
+        // speedups summarising a family the curves never measured
+        let mismatch = paired_general_graphs("torus_4x4", "hypercube_5");
+        assert!(validate(&mismatch, &Options::default())
+            .iter()
+            .any(|e| e.contains("must cover the measured families")));
+
+        // an unknown process column is rejected outright
+        let unknown = minimal(
+            "general_graphs",
+            r#"[{"x":1,"median_cover":1}]"#,
+            r#"{"process":"quantum","family":"path","n":8}"#,
+            r#"{"domain_sampler_speedup_n4096":40.0,"speedups":[]}"#,
+        );
+        assert!(validate(&unknown, &Options::default())
+            .iter()
+            .any(|e| e.contains("must be \"rotor\" or \"walk\"")));
+    }
+
+    #[test]
+    fn ring_large_n_rules() {
+        let ok = Json::parse(
+            r#"{"schema":"rotor-experiment/1","bench":"ring_large_n","threads":2,"meta":{},
+                "curves":[
+                  {"label":"worst/n128","meta":{"process":"rotor","placement":"all_on_one","n":128},
+                   "fit":null,"points":[{"x":1,"cover":9000},{"x":4,"cover":4000}]},
+                  {"label":"best/n128","meta":{"process":"rotor","placement":"equally_spaced","n":128},
+                   "fit":null,"points":[{"x":1,"cover":8000},{"x":4,"cover":700}]},
+                  {"label":"rotor/random/n128","meta":{"process":"rotor","placement":"random","n":128},
+                   "fit":null,"points":[{"x":1,"covered":2,"median_cover":8500}]},
+                  {"label":"walk/random/n128","meta":{"process":"walk","placement":"random","n":128},
+                   "fit":null,"points":[{"x":1,"covered":2,"median_cover":9100}]}
+                ]}"#,
+        )
+        .unwrap();
+        assert_eq!(validate(&ok, &Options::default()), Vec::<String>::new());
+
+        // a dropped column and a point with neither cover shape both fail
+        let bad = Json::parse(
+            r#"{"schema":"rotor-experiment/1","bench":"ring_large_n","threads":2,"meta":{},
+                "curves":[
+                  {"label":"worst/n128","meta":{"process":"rotor","placement":"all_on_one","n":128},
+                   "fit":null,"points":[{"x":1,"other":1}]}
+                ]}"#,
+        )
+        .unwrap();
+        let errors = validate(&bad, &Options::default());
+        assert!(errors.iter().any(|e| e.contains("placement columns")));
+        assert!(errors.iter().any(|e| e.contains("needs cover")));
     }
 
     #[test]
