@@ -18,6 +18,9 @@
 //!   [`fit_regime_scaled`] taking `2·D·|E|`-normalised measurements so one
 //!   pooled fit spans several graph sizes, and [`speedup_exponent`] for
 //!   paired walk-vs-rotor curves;
+//! * recovery-curve aggregation for fault-injection sweeps
+//!   ([`recovery::summarize_recovery`]), with honest timeout bookkeeping
+//!   (`recovered ≤ attempts`, timed-out cells never enter the medians);
 //! * the shared experiment-report schema ([`report`]):
 //!   [`ExperimentReport`](report::ExperimentReport) /
 //!   [`Curve`](report::Curve) and the dependency-free
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod recovery;
 pub mod report;
 
 use rand::rngs::SmallRng;

@@ -1,0 +1,141 @@
+//! Recovery-curve aggregation for fault-injection sweeps.
+//!
+//! The recovery runner in `rotor-sweep` produces per-cell observations:
+//! rounds until the disturbed process covered again (`None` when the
+//! budget elapsed first) and, where probed, the re-lock-in tail `μ` and
+//! limit-cycle period `λ`. This module reduces a point's repetitions to
+//! the [`RecoverySummary`] the `BENCH_recovery.json` curves are built
+//! from, keeping the timeout bookkeeping honest: timed-out cells count as
+//! attempts but never contribute to the order statistics, so a curve can
+//! show `recovered < attempts` instead of silently dropping failures.
+
+use crate::median;
+
+/// One cell's recovery observation, as handed to [`summarize_recovery`].
+///
+/// A deliberately minimal mirror of the sweep crate's recovery sample
+/// (`rotor-analysis` stays dependency-free of the sweep layer): `None`
+/// uniformly means "not measured", whether because a budget elapsed or
+/// because the re-lock-in probe was not enabled for the cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryObs {
+    /// Rounds from the disturbance to re-cover, if it happened in budget.
+    pub recover: Option<u64>,
+    /// Re-lock-in tail `μ` of the disturbed configuration, if probed.
+    pub relock: Option<u64>,
+    /// Limit-cycle period `λ` of the disturbed configuration, if probed.
+    pub period: Option<u64>,
+}
+
+/// Order statistics of one recovery point (fixed disturbance, family, `n`,
+/// `k`; repetitions over seeds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Number of observations (disturbances struck).
+    pub attempts: usize,
+    /// How many re-covered within budget.
+    pub recovered: usize,
+    /// Median re-cover rounds over the recovered subset (lower median).
+    pub median_recover: Option<u64>,
+    /// Worst (maximum) re-cover rounds over the recovered subset.
+    pub worst_recover: Option<u64>,
+    /// How many observations carried a re-lock-in probe result.
+    pub relocked: usize,
+    /// Median re-lock-in tail `μ` over the probed subset.
+    pub median_relock: Option<u64>,
+    /// Median limit-cycle period `λ` over the probed subset.
+    pub median_period: Option<u64>,
+}
+
+/// Reduces a point's repetitions to a [`RecoverySummary`].
+///
+/// ```
+/// use rotor_analysis::recovery::{summarize_recovery, RecoveryObs};
+///
+/// let obs = [
+///     RecoveryObs { recover: Some(120), relock: Some(40), period: Some(32) },
+///     RecoveryObs { recover: Some(80), relock: Some(60), period: Some(32) },
+///     RecoveryObs { recover: None, relock: None, period: None }, // timed out
+/// ];
+/// let s = summarize_recovery(&obs);
+/// assert_eq!((s.attempts, s.recovered, s.relocked), (3, 2, 2));
+/// assert_eq!(s.median_recover, Some(80));
+/// assert_eq!(s.worst_recover, Some(120));
+/// assert_eq!(s.median_period, Some(32));
+/// ```
+pub fn summarize_recovery(obs: &[RecoveryObs]) -> RecoverySummary {
+    let mut recovers: Vec<u64> = obs.iter().filter_map(|o| o.recover).collect();
+    let mut relocks: Vec<u64> = obs.iter().filter_map(|o| o.relock).collect();
+    let mut periods: Vec<u64> = obs.iter().filter_map(|o| o.period).collect();
+    RecoverySummary {
+        attempts: obs.len(),
+        recovered: recovers.len(),
+        median_recover: median(&mut recovers),
+        worst_recover: recovers.iter().copied().max(),
+        relocked: relocks.len(),
+        median_relock: median(&mut relocks),
+        median_period: median(&mut periods),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(recover: Option<u64>, relock: Option<u64>, period: Option<u64>) -> RecoveryObs {
+        RecoveryObs {
+            recover,
+            relock,
+            period,
+        }
+    }
+
+    #[test]
+    fn empty_point_is_all_none() {
+        let s = summarize_recovery(&[]);
+        assert_eq!(s.attempts, 0);
+        assert_eq!(s.recovered, 0);
+        assert_eq!(s.relocked, 0);
+        assert_eq!(s.median_recover, None);
+        assert_eq!(s.worst_recover, None);
+        assert_eq!(s.median_relock, None);
+        assert_eq!(s.median_period, None);
+    }
+
+    #[test]
+    fn timeouts_count_as_attempts_not_statistics() {
+        let s = summarize_recovery(&[
+            obs(Some(10), None, None),
+            obs(None, None, None),
+            obs(Some(30), None, None),
+            obs(None, None, None),
+        ]);
+        assert_eq!((s.attempts, s.recovered), (4, 2));
+        assert_eq!(s.median_recover, Some(10), "lower median of {{10, 30}}");
+        assert_eq!(s.worst_recover, Some(30));
+        assert_eq!(s.relocked, 0);
+    }
+
+    #[test]
+    fn all_timed_out_keeps_attempts_honest() {
+        let s = summarize_recovery(&[obs(None, None, None); 3]);
+        assert_eq!((s.attempts, s.recovered), (3, 0));
+        assert_eq!(s.median_recover, None);
+    }
+
+    #[test]
+    fn relock_subset_is_independent_of_recovery() {
+        // A cell can time out of re-covering while its lock-in probe still
+        // resolved (small k, long cover budget overrun): the subsets are
+        // counted independently.
+        let s = summarize_recovery(&[
+            obs(None, Some(100), Some(64)),
+            obs(Some(7), Some(200), Some(64)),
+            obs(Some(9), None, None),
+        ]);
+        assert_eq!((s.attempts, s.recovered, s.relocked), (3, 2, 2));
+        assert_eq!(s.median_relock, Some(100));
+        assert_eq!(s.median_period, Some(64));
+        assert_eq!(s.worst_recover, Some(9));
+    }
+}

@@ -1,0 +1,108 @@
+//! Fault-injection recovery curves — a **thin smoke-mode wrapper over the
+//! `recovery` campaign definitions** in `xtask::campaign`, so the CI
+//! smoke grid and the committed full-campaign baseline can never
+//! structurally drift: same unit code, same aggregation, same validator.
+//!
+//! The campaign strikes every disturbance kind (pointer corruption, agent
+//! crashes, §2.1 stalls, degree-preserving edge churn) after cover on
+//! ring, random-regular and binary-tree scenarios, and measures rounds to
+//! re-cover — plus, on `k = 1` cells, the Brent-probed re-lock-in tail
+//! and period of the disturbed configuration. This bench runs the *smoke*
+//! scale (n ≤ 256); the full `n ∈ {256, 1024}` pass is
+//! `cargo run --release -p xtask -- campaign recovery`, which is what
+//! regenerates the committed `BENCH_recovery.json`.
+//!
+//! `ROTOR_SWEEP_SMOKE=1` writes the smoke report to the canonical path so
+//! CI can assert the schema; `-- --test` runs tiny grids and writes
+//! nothing; a plain `cargo bench` run also writes nothing (the committed
+//! baseline belongs to the campaign).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotor_bench::report::write_summary;
+use rotor_core::faults::FaultKind;
+use rotor_sweep::{
+    run_scenario_recovery, thread_count, FaultSpec, GraphFamily, InitSpec, PlacementSpec,
+    RecoveryOptions, ScenarioGrid,
+};
+use xtask::campaign::{self, CampaignState, Scale, RECOVERY};
+use xtask::validate;
+
+const SMOKE_ENV: &str = "ROTOR_SWEEP_SMOKE";
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::var(SMOKE_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
+    let scale = if c.is_test_mode() {
+        Scale::Test
+    } else {
+        Scale::Smoke
+    };
+    let threads = thread_count();
+
+    // The campaign definitions, ephemeral state (every unit computed
+    // fresh — the smoke grids are seconds, not hours).
+    let mut state = CampaignState::ephemeral(RECOVERY, scale);
+    let report =
+        campaign::recovery_report(scale, threads, &mut state).expect("campaign smoke assembles");
+    // The wrapper enforces the same contract the campaign CLI does: a
+    // report this bench would write must already pass `xtask validate`.
+    let errors = validate::validate(&report, &validate::Options::default());
+    assert!(
+        errors.is_empty(),
+        "smoke report fails validation: {errors:?}"
+    );
+    // Acceptance smoke for the panic-contained driver: a healthy pass has
+    // an explicit, zero failed-cell ledger.
+    let failed = report
+        .get("meta")
+        .and_then(|m| m.get("failed_cells"))
+        .and_then(rotor_analysis::report::Json::as_u64);
+    assert_eq!(failed, Some(0), "smoke pass must not lose cells");
+
+    if smoke && !c.is_test_mode() {
+        let path = write_summary("recovery", &report);
+        println!("wrote {}", path.display());
+    } else {
+        println!(
+            "test mode: BENCH_recovery.json left untouched \
+             (full baseline: cargo run --release -p xtask -- campaign recovery)"
+        );
+    }
+
+    // Interactive timing: one disturbance of each kind on a mid-size ring
+    // cell through the recovery runner.
+    let mut group = c.benchmark_group("recovery");
+    let grid = ScenarioGrid {
+        families: vec![GraphFamily::Ring],
+        ns: vec![256],
+        ks: vec![4],
+        seed_count: 1,
+        base_seed: 0xFA11,
+        placement: PlacementSpec::Random,
+        init: InitSpec::Random,
+    };
+    let sc = grid.scenarios()[0];
+    let opts = RecoveryOptions {
+        cover_budget: 1 << 22,
+        recover_budget: 1 << 22,
+        relock_budget: None,
+    };
+    for kind in [
+        FaultKind::CorruptPointers,
+        FaultKind::CrashAgents,
+        FaultKind::StallAgents,
+        FaultKind::ChurnEdges,
+    ] {
+        let fault = FaultSpec {
+            kind,
+            severity: 16,
+            after_cover: 8,
+        };
+        group.bench_function(BenchmarkId::new("ring_n256_k4", kind.label()), |b| {
+            b.iter(|| run_scenario_recovery(&sc, &fault, &opts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -331,6 +331,70 @@ impl<'g> Engine<'g> {
         }
     }
 
+    /// Fault injection: scrambles `count` port pointers, each draw picking
+    /// a node and a fresh in-range pointer from the chained `seed` stream
+    /// (deterministic in `(seed, count)`; draws may repeat a node). Returns
+    /// how many draws actually changed a pointer.
+    ///
+    /// Corruption rewrites `π_v` without touching the exit counters, so
+    /// [`arc_identity_holds`](Self::arc_identity_holds) — which is stated
+    /// against the *initial* pointers of an undisturbed execution — no
+    /// longer applies after this is called.
+    pub fn corrupt_pointers(&mut self, seed: u64, count: u32) -> u32 {
+        let n = self.g.node_count() as u64;
+        let mut s = seed;
+        let mut changed = 0;
+        for _ in 0..count {
+            s = crate::rng::splitmix64(s);
+            let v = (s % n) as usize;
+            let deg = self.g.degree(NodeId::new(v as u32)) as u64;
+            let new_ptr = ((s >> 32) % deg) as u32;
+            changed += u32::from(self.pointers[v] != new_ptr);
+            self.pointers[v] = new_ptr;
+        }
+        changed
+    }
+
+    /// Fault injection: crashes up to `count` agents, each draw removing
+    /// one agent from a seed-chosen occupied node. Always leaves at least
+    /// one agent in the system. Returns how many agents were actually
+    /// removed.
+    pub fn remove_agents(&mut self, seed: u64, count: u32) -> u32 {
+        let mut s = seed;
+        let mut removed = 0;
+        for _ in 0..count {
+            if self.k <= 1 {
+                break;
+            }
+            s = crate::rng::splitmix64(s);
+            let i = (s % self.occupied.len() as u64) as usize;
+            let v = self.occupied[i] as usize;
+            self.agents[v] -= 1;
+            if self.agents[v] == 0 {
+                self.occupied.remove(i);
+            }
+            self.k -= 1;
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Starts a fresh cover epoch from the current configuration: only the
+    /// currently occupied nodes count as visited and
+    /// [`cover_round`](Self::cover_round) is cleared (unless the occupation
+    /// alone already covers). Cumulative visit/exit/traversal counters are
+    /// left untouched — they are lifetime statistics, not epoch predicates.
+    pub fn reset_cover_epoch(&mut self) {
+        let n = self.g.node_count();
+        let mut visited = VisitSet::new(n);
+        for &v in &self.occupied {
+            visited.insert(v as usize);
+        }
+        self.visited = visited;
+        self.unvisited = n - self.occupied.len();
+        self.cover_round = (self.unvisited == 0).then_some(self.round);
+    }
+
     /// Verifies the §1.3 identity relating exits and per-arc traversals:
     /// for every node `v` and port `p`,
     /// `traversals(v, p) == ⌈(e_v − label_v(p)) / deg(v)⌉`, where the label

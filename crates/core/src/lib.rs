@@ -31,6 +31,10 @@
 //!   custom) and the *remote vertex* machinery of Definition 2 / Lemma 15.
 //! * [`delays`] — delayed deployments `D : V × N → N` (§2.1) and helpers
 //!   for the slow-down lemma (Lemma 3).
+//! * [`faults`] — fault injection: deterministic disturbance schedules
+//!   ([`faults::FaultPlan`]) over pointer corruption, agent crashes,
+//!   stalls and edge churn, plus the [`faults::Perturb`] hooks both
+//!   engines implement so recovery is measurable on any backend.
 //! * [`domains`] — agent domains, lazy domains, propagation/reflection
 //!   visit types and vertex-/edge-type borders (§2.2, Fig. 1).
 //! * [`limit`] — Brent cycle detection on the configuration sequence and
@@ -69,6 +73,7 @@ pub mod bitset;
 pub mod delays;
 pub mod domains;
 mod engine;
+pub mod faults;
 pub mod init;
 pub mod limit;
 pub mod lockin;

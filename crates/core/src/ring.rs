@@ -512,6 +512,70 @@ impl RingRouter {
             self.step();
         }
     }
+
+    /// Fault injection: scrambles `count` pointer directions, each draw
+    /// picking a node and a fresh direction bit from the chained `seed`
+    /// stream (deterministic in `(seed, count)`; draws may repeat a node).
+    /// Returns how many draws actually changed a direction.
+    pub fn corrupt_pointers(&mut self, seed: u64, count: u32) -> u32 {
+        let mut s = seed;
+        let mut changed = 0;
+        for _ in 0..count {
+            s = crate::rng::splitmix64(s);
+            let v = (s % u64::from(self.n)) as usize;
+            let new_dir = ((s >> 32) & 1) as u8;
+            changed += u32::from(self.dirs[v] != new_dir);
+            self.dirs[v] = new_dir;
+        }
+        changed
+    }
+
+    /// Fault injection: crashes up to `count` agents, each draw removing
+    /// one agent from a seed-chosen occupied node. Always leaves at least
+    /// one agent in the system (a rotor-router with no agents never covers
+    /// anything again, which would make every recovery time infinite by
+    /// construction rather than by measurement). Returns how many agents
+    /// were actually removed.
+    pub fn remove_agents(&mut self, seed: u64, count: u32) -> u32 {
+        let mut s = seed;
+        let mut removed = 0;
+        for _ in 0..count {
+            if self.k <= 1 {
+                break;
+            }
+            s = crate::rng::splitmix64(s);
+            let i = (s % self.occ_nodes.len() as u64) as usize;
+            self.occ_counts[i] -= 1;
+            if self.occ_counts[i] == 0 {
+                self.occ_nodes.remove(i);
+                self.occ_counts.remove(i);
+            }
+            self.k -= 1;
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Starts a fresh cover epoch from the current configuration: only the
+    /// currently occupied nodes count as visited,
+    /// [`cover_round`](Self::cover_round) is cleared (unless the
+    /// occupation alone already covers), and the §2.2 domain/border
+    /// counters are re-seeded from the
+    /// new visited set. Cumulative visit counts ([`visits`](Self::visits))
+    /// are deliberately left untouched — they are lifetime statistics, not
+    /// epoch predicates.
+    pub fn reset_cover_epoch(&mut self) {
+        let mut visited = VisitSet::new(self.n as usize);
+        for &v in &self.occ_nodes {
+            visited.insert(v as usize);
+        }
+        self.visited = visited;
+        self.unvisited = self.n - self.occ_nodes.len() as u32;
+        self.cover_round = (self.unvisited == 0).then_some(self.round);
+        let stats = crate::domains::scan_domain_stats(&*self);
+        self.domains = stats.domains;
+        self.borders = stats.borders;
+    }
 }
 
 impl crate::CoverProcess for RingRouter {

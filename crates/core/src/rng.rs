@@ -41,6 +41,12 @@ pub const STREAM_GRAPH: u64 = 0x6A97;
 /// from this stream of the caller's seed.
 pub const STREAM_BOOTSTRAP: u64 = 0xB007;
 
+/// Fault-injection disturbances (`crate::faults`) — which pointers get
+/// corrupted, which agents crash, which edges churn — draw from this
+/// stream of the scenario seed, so a faulted rerun of a healthy scenario
+/// perturbs nothing about the healthy phase's randomness.
+pub const STREAM_FAULT: u64 = 0xFA17;
+
 /// The seed of the named sub-stream `stream_id` of `seed`: two consumers
 /// with different stream constants see independent RNGs even though both
 /// derive from the same cell seed.
@@ -69,6 +75,7 @@ mod tests {
             STREAM_WALK,
             STREAM_GRAPH,
             STREAM_BOOTSTRAP,
+            STREAM_FAULT,
         ];
         let mut derived: Vec<u64> = ids.iter().map(|&id| stream(seed, id)).collect();
         derived.push(splitmix64(seed)); // the unstreamed base derivation

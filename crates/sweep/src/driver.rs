@@ -47,8 +47,41 @@ pub fn threads_from(var: Option<&str>) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`, or propagates a panic from `f`.
+/// Panics if `threads == 0`, or if `f` panicked on any cell (the sweep
+/// still runs every other cell to completion first — see
+/// [`run_sharded_checked`], of which this is the propagate-everything
+/// wrapper).
 pub fn run_sharded<C, R, F>(cells: &[C], threads: usize, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(usize, &C) -> R + Sync,
+{
+    run_sharded_checked(cells, threads, f)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(r) => r,
+            Err(msg) => panic!("sweep cell {i} panicked: {msg}"),
+        })
+        .collect()
+}
+
+/// [`run_sharded`] with per-cell panic containment: each invocation of `f`
+/// runs under [`std::panic::catch_unwind`], so one poisoned cell reports
+/// as an `Err` (carrying the panic message) in its slot instead of killing
+/// the whole sweep — the other cells' results survive. Results are in cell
+/// order, like [`run_sharded`].
+///
+/// The `AssertUnwindSafe` is sound here because a panicking `f` can leak
+/// no broken state into later cells: `f` is `Fn` (shared reference only)
+/// and every cell's result is written exactly once from the cell that
+/// computed it.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn run_sharded_checked<C, R, F>(cells: &[C], threads: usize, f: F) -> Vec<Result<R, String>>
 where
     C: Sync,
     R: Send,
@@ -57,24 +90,35 @@ where
     assert!(threads > 0, "need at least one worker thread");
     let workers = threads.min(cells.len()).max(1);
     let cursor = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(cells.len());
+    let mut tagged: Vec<(usize, Result<R, String>)> = Vec::with_capacity(cells.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(scope.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut local: Vec<(usize, Result<R, String>)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= cells.len() {
                         break;
                     }
-                    local.push((i, f(i, &cells[i])));
+                    let cell = &cells[i];
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, cell)))
+                            .map_err(|payload| {
+                                payload
+                                    .downcast_ref::<String>()
+                                    .map(String::as_str)
+                                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                                    .unwrap_or("non-string panic payload")
+                                    .to_owned()
+                            });
+                    local.push((i, result));
                 }
                 local
             }));
         }
         for h in handles {
-            tagged.extend(h.join().expect("sweep worker panicked"));
+            tagged.extend(h.join().expect("sweep worker died outside a cell"));
         }
     });
     debug_assert_eq!(tagged.len(), cells.len());
@@ -125,6 +169,34 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         run_sharded(&[1u8], 0, |_, &c| c);
+    }
+
+    #[test]
+    fn checked_contains_panics_per_cell() {
+        let cells: Vec<u32> = (0..20).collect();
+        let results = run_sharded_checked(&cells, 4, |_, &c| {
+            assert!(c % 7 != 3, "poisoned cell {c}");
+            c * 2
+        });
+        assert_eq!(results.len(), cells.len());
+        for (i, r) in results.iter().enumerate() {
+            if i % 7 == 3 {
+                let msg = r.as_ref().expect_err("cell poisoned");
+                assert!(msg.contains("poisoned cell"), "{msg}");
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy cell"), 2 * i as u32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep cell 3 panicked")]
+    fn unchecked_propagates_the_first_poisoned_cell() {
+        let cells: Vec<u32> = (0..8).collect();
+        run_sharded(&cells, 2, |_, &c| {
+            assert!(c != 3, "boom");
+            c
+        });
     }
 
     #[test]

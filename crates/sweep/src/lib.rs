@@ -28,6 +28,11 @@
 //!   `(GraphFamily, ProcessKind)` with the
 //!   [`RingRouter`](rotor_core::RingRouter) fast path preserved on the
 //!   ring family.
+//! * [`recovery`] — fault-injection recovery measurement: a
+//!   [`RecoveryGrid`] crosses the scenario lattice with a disturbance axis
+//!   ([`FaultSpec`]), and [`run_scenario_recovery`] measures re-cover and
+//!   re-lock-in time after pointer corruption, agent crashes, stalls, or
+//!   edge churn.
 //!
 //! ## Example: one grid, two families, two processes
 //!
@@ -62,11 +67,16 @@
 
 pub mod driver;
 pub mod grid;
+pub mod recovery;
 pub mod runners;
 pub mod scenario;
 
-pub use driver::{run_sharded, thread_count};
+pub use driver::{run_sharded, run_sharded_checked, thread_count};
 pub use grid::{Cell, InitSpec, PlacementSpec, SweepGrid};
+pub use recovery::{
+    run_recovery_grid, run_scenario_recovery, FaultSpec, RecoveryGrid, RecoveryOptions,
+    RecoverySample,
+};
 pub use runners::{
     run_cover_cell, run_scenario, run_scenario_cycle, run_scenario_observed, CoverSample,
     ProcessKind,

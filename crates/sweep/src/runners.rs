@@ -208,7 +208,12 @@ pub fn run_scenario_cycle(sc: &Scenario, max_steps: u64) -> Option<CycleInfo> {
 /// Initial port pointers for the general engine: the ring family goes
 /// through the direction-bit derivation (bit-identical to the fast path);
 /// every other family uses the graph-level [`PointerInit`] resolution.
-fn initial_pointers(sc: &Scenario, g: &PortGraph, positions: &[u32], ids: &[NodeId]) -> Vec<u32> {
+pub(crate) fn initial_pointers(
+    sc: &Scenario,
+    g: &PortGraph,
+    positions: &[u32],
+    ids: &[NodeId],
+) -> Vec<u32> {
     if sc.family.is_ring() {
         sc.ring_directions(positions)
             .iter()

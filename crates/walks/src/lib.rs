@@ -142,6 +142,44 @@ impl<'g> ParallelWalk<'g> {
     }
 }
 
+impl rotor_core::faults::Perturb for ParallelWalk<'_> {
+    /// A random walk has no rotor state to corrupt — a documented no-op
+    /// (returns 0), kept so crash-fault recovery experiments can run the
+    /// walk as a comparison column through the same [`Perturb`] driver.
+    ///
+    /// [`Perturb`]: rotor_core::faults::Perturb
+    fn corrupt_pointers(&mut self, _seed: u64, _count: u32) -> u32 {
+        0
+    }
+
+    fn remove_agents(&mut self, seed: u64, count: u32) -> u32 {
+        let mut s = seed;
+        let mut removed = 0;
+        for _ in 0..count {
+            if self.positions.len() <= 1 {
+                break;
+            }
+            s = rotor_core::rng::splitmix64(s);
+            let i = (s % self.positions.len() as u64) as usize;
+            self.positions.swap_remove(i);
+            removed += 1;
+        }
+        removed
+    }
+
+    fn reset_cover_epoch(&mut self) {
+        let n = self.g.node_count();
+        let mut visited = VisitSet::new(n);
+        for p in &self.positions {
+            visited.insert(p.index());
+        }
+        let occupied = visited.count_ones();
+        self.visited = visited;
+        self.unvisited = n - occupied;
+        self.cover_round = (self.unvisited == 0).then_some(self.round);
+    }
+}
+
 impl CoverProcess for ParallelWalk<'_> {
     fn kind_name(&self) -> &'static str {
         "walk"
@@ -239,6 +277,21 @@ mod tests {
             (0..16).filter(|&v| w.is_visited(NodeId::new(v))).count(),
             "counter agrees with per-node queries"
         );
+    }
+
+    #[test]
+    fn crash_and_epoch_reset_on_walkers() {
+        use rotor_core::faults::Perturb;
+        let g = builders::ring(24);
+        let starts = [NodeId::new(0), NodeId::new(8), NodeId::new(16)];
+        let mut w = ParallelWalk::new(&g, &starts, 5);
+        w.cover_time(1_000_000).expect("covers");
+        assert_eq!(w.corrupt_pointers(1, 10), 0, "no rotor state to corrupt");
+        assert_eq!(w.remove_agents(2, 10), 2, "last walker survives");
+        assert_eq!(w.positions().len(), 1);
+        w.reset_cover_epoch();
+        assert_eq!(w.cover_round(), None, "24 nodes, 1 occupied: not covered");
+        assert!(CoverProcess::run_until_covered(&mut w, 10_000_000).is_some());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! campaign's base seed, so a resumed unit is bit-identical to an
 //! uninterrupted one (pinned by tests).
 //!
-//! Two campaigns are defined:
+//! Three campaigns are defined:
 //!
 //! * [`FAMILY_SPEEDUP`] — the paper's headline comparison *off* the ring:
 //!   every shape-free graph family (ring, path, complete, star, binary
@@ -26,20 +26,33 @@
 //!   for a multi-core box via `ROTOR_SWEEP_THREADS` / `--threads`; the
 //!   resumable unit granularity is what makes the multi-hour worst-case
 //!   cells tractable. Writes `BENCH_ring_large_n.json`.
+//! * [`RECOVERY`] — the fault-injection robustness campaign: every
+//!   disturbance kind (pointer corruption, agent crashes, §2.1 stalls,
+//!   edge churn) struck after cover on ring, random-regular and
+//!   binary-tree scenarios, measuring rounds to re-cover (and, on `k = 1`
+//!   cells, the Brent-probed re-lock-in tail and period of the disturbed
+//!   configuration). Cells run through the panic-contained
+//!   [`run_sharded_checked`] driver, so one poisoned cell surfaces in the
+//!   report meta instead of killing the pass. Writes
+//!   `BENCH_recovery.json`.
 //!
-//! The `general_graphs` bench target is a thin smoke-mode wrapper over
-//! [`family_speedup_report`], so the CI smoke grid and the full campaign
-//! can never drift: same unit code, same aggregation, same validator.
+//! The `general_graphs` and `recovery` bench targets are thin smoke-mode
+//! wrappers over [`family_speedup_report`] / [`recovery_report`], so the
+//! CI smoke grids and the full campaigns can never drift: same unit code,
+//! same aggregation, same validator.
 
 use crate::validate;
+use rotor_analysis::recovery::{summarize_recovery, RecoveryObs};
 use rotor_analysis::report::{write_summary, Curve, Json, Point, SCHEMA};
 use rotor_analysis::{fit_regime_scaled, median, speedup_exponent, RegimeFit};
 use rotor_core::domains::{scan_domain_stats, DomainSampler};
+use rotor_core::faults::FaultKind;
 use rotor_core::{init::PointerInit, placement::Placement, CoverProcess, RingRouter};
 use rotor_graph::algo;
 use rotor_sweep::{
-    run_scenario, run_scenario_observed, run_sharded, CoverSample, GraphFamily, InitSpec,
-    PlacementSpec, ProcessKind, Scenario, ScenarioGrid,
+    run_scenario, run_scenario_observed, run_scenario_recovery, run_sharded, run_sharded_checked,
+    CoverSample, FaultSpec, GraphFamily, InitSpec, PlacementSpec, ProcessKind, RecoveryOptions,
+    RecoverySample, Scenario, ScenarioGrid,
 };
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -48,8 +61,10 @@ use std::time::Instant;
 pub const FAMILY_SPEEDUP: &str = "family-speedup";
 /// The large-`n` ring campaign (writes `BENCH_ring_large_n.json`).
 pub const RING_LARGE_N: &str = "ring-large-n";
+/// The fault-injection recovery campaign (writes `BENCH_recovery.json`).
+pub const RECOVERY: &str = "recovery";
 /// Every defined campaign name, for CLI help and dispatch.
-pub const NAMES: [&str; 2] = [FAMILY_SPEEDUP, RING_LARGE_N];
+pub const NAMES: [&str; 3] = [FAMILY_SPEEDUP, RING_LARGE_N, RECOVERY];
 
 /// Schema tag of the campaign state file.
 pub const STATE_SCHEMA: &str = "rotor-campaign-state/1";
@@ -60,6 +75,7 @@ pub fn bench_name(campaign: &str) -> Option<&'static str> {
     match campaign {
         FAMILY_SPEEDUP => Some("general_graphs"),
         RING_LARGE_N => Some("ring_large_n"),
+        RECOVERY => Some("recovery"),
         _ => None,
     }
 }
@@ -123,10 +139,20 @@ impl CampaignState {
     /// Loads the state at `path` (or starts empty if the file does not
     /// exist, or `fresh` asked to ignore it).
     ///
+    /// A file that exists but does not *parse* — the classic aftermath of
+    /// a pass killed mid-`persist`, leaving truncated JSON — is treated as
+    /// lost work, not an abort: the load warns on stderr and starts a
+    /// fresh campaign (which rewrites the file at the first computed
+    /// unit). The same applies to parseable JSON with no `units` object.
+    /// A *valid* state file whose header names a different campaign or
+    /// scale is still refused hard: that is a usage error, and silently
+    /// discarding another pass's finished units would be worse than
+    /// stopping (`--fresh` remains the explicit override).
+    ///
     /// # Errors
     ///
-    /// Fails when the file exists but cannot be parsed, or its header
-    /// names a different campaign or scale than this pass.
+    /// Fails when the file exists but cannot be read, or parses cleanly
+    /// with a mismatched `(campaign, scale)` header.
     pub fn load(
         path: PathBuf,
         campaign: &str,
@@ -140,8 +166,17 @@ impl CampaignState {
         }
         let body = std::fs::read_to_string(&path)
             .map_err(|e| format!("{}: cannot read state: {e}", path.display()))?;
-        let parsed = Json::parse(&body)
-            .map_err(|e| format!("{}: invalid state file: {e}", path.display()))?;
+        let parsed = match Json::parse(&body) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!(
+                    "warning: {}: corrupt campaign state ({e}); \
+                     discarding it and starting fresh",
+                    path.display()
+                );
+                return Ok(state);
+            }
+        };
         for (key, expect) in [
             ("schema", STATE_SCHEMA),
             ("campaign", campaign),
@@ -158,10 +193,14 @@ impl CampaignState {
                 }
             }
         }
-        let units = parsed
-            .get("units")
-            .and_then(Json::as_obj)
-            .ok_or_else(|| format!("{}: state has no units object", path.display()))?;
+        let Some(units) = parsed.get("units").and_then(Json::as_obj) else {
+            eprintln!(
+                "warning: {}: campaign state has no units object; \
+                 discarding it and starting fresh",
+                path.display()
+            );
+            return Ok(state);
+        };
         state.units = units.to_vec();
         Ok(state)
     }
@@ -868,6 +907,243 @@ pub fn ring_large_n_report(
     Ok(report_json("ring_large_n", threads, meta, curves))
 }
 
+// ---------------------------------------------------------------------------
+// recovery
+// ---------------------------------------------------------------------------
+
+/// Families the recovery campaign disturbs: the paper's ring plus two
+/// general shapes (an expander-like random-regular draw and the
+/// binary tree), so every disturbance kind is measured on ≥ 2 families.
+fn recovery_families() -> [GraphFamily; 3] {
+    [
+        GraphFamily::Ring,
+        GraphFamily::RandomRegular { degree: 4 },
+        GraphFamily::BinaryTree,
+    ]
+}
+
+/// Every disturbance kind, in curve order.
+fn recovery_kinds() -> [FaultKind; 4] {
+    [
+        FaultKind::CorruptPointers,
+        FaultKind::CrashAgents,
+        FaultKind::StallAgents,
+        FaultKind::ChurnEdges,
+    ]
+}
+
+fn recovery_ns(scale: Scale) -> &'static [usize] {
+    match scale {
+        Scale::Full => &[256, 1024],
+        Scale::Smoke => &[64, 256],
+        Scale::Test => &[32, 64],
+    }
+}
+
+fn recovery_seed_count(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 3,
+        Scale::Smoke => 2,
+        Scale::Test => 1,
+    }
+}
+
+const RECOVERY_BASE_SEED: u64 = 0xFA11_0C0DE;
+
+/// Disturbance magnitude at size `n`: enough to measurably uncover the
+/// graph, scaled so the fault stays a perturbation rather than a restart.
+/// Corruption scrambles `n/8` pointers, crashes remove up to 4 agents
+/// (the runner always spares the last), stalls hold every agent 32
+/// rounds, churn attempts `n/16` degree-preserving edge swaps.
+fn fault_severity(kind: FaultKind, n: usize) -> u32 {
+    match kind {
+        FaultKind::CorruptPointers => (n / 8).max(4) as u32,
+        FaultKind::CrashAgents => 4,
+        FaultKind::StallAgents => 32,
+        FaultKind::ChurnEdges => (n / 16).max(2) as u32,
+    }
+}
+
+/// Runs one `(kind, family, n)` unit of the recovery campaign: every
+/// `(k, seed)` cell disturbed once after cover, through the
+/// panic-contained driver, aggregated into one recovery curve per unit
+/// plus the failed-cell ledger the assembly hoists into the report meta.
+fn run_recovery_unit(
+    kind: FaultKind,
+    family: GraphFamily,
+    n: usize,
+    seed_count: usize,
+    threads: usize,
+) -> Json {
+    let ks = ks_for(n);
+    let grid = ScenarioGrid {
+        families: vec![family],
+        ns: vec![n],
+        ks: ks.clone(),
+        seed_count,
+        base_seed: RECOVERY_BASE_SEED,
+        placement: PlacementSpec::Random,
+        init: InitSpec::Random,
+    };
+    let scenarios = grid.scenarios();
+    let results: Vec<Result<RecoverySample, String>> =
+        run_sharded_checked(&scenarios, threads, |_, sc| {
+            let bound = lockin_bound(sc);
+            let fault = FaultSpec {
+                kind,
+                severity: fault_severity(kind, sc.n),
+                after_cover: 8,
+            };
+            let opts = RecoveryOptions {
+                cover_budget: 4 * bound,
+                recover_budget: 8 * bound,
+                // Re-lock-in probes cost O(μ + λ) extra simulation per
+                // cell; §4's bounds make that affordable exactly where
+                // the period is short — probe the k = 1 column only.
+                relock_budget: (sc.k == 1).then_some(4 * bound),
+            };
+            run_scenario_recovery(sc, &fault, &opts)
+        });
+    let failures: Vec<Json> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            r.as_ref().err().map(|msg| {
+                let sc = &scenarios[i];
+                Json::Str(format!(
+                    "{}/{}/n{}/k{}/seed{}: {msg}",
+                    kind.label(),
+                    family.label(),
+                    sc.n,
+                    sc.k,
+                    sc.seed_index
+                ))
+            })
+        })
+        .collect();
+
+    let backend = results
+        .iter()
+        .find_map(|r| r.as_ref().ok().map(|s| s.backend))
+        .unwrap_or("unknown");
+    let mut curve = Curve::new(format!("{}/{}/n{n}", kind.label(), family.label()))
+        .meta("process", Json::Str("rotor".into()))
+        .meta("kind", Json::Str(kind.label().into()))
+        .meta("family", Json::Str(family.label()))
+        .meta("n", Json::Int(n as u64))
+        .meta("seed_count", Json::Int(seed_count as u64))
+        .meta("severity", Json::Int(u64::from(fault_severity(kind, n))))
+        .meta("backend", Json::Str(backend.into()));
+    for (ki, &k) in ks.iter().enumerate() {
+        let cells: Vec<&RecoverySample> = grid
+            .point_range(0, 0, ki)
+            .filter_map(|i| results[i].as_ref().ok())
+            .collect();
+        let obs: Vec<RecoveryObs> = cells
+            .iter()
+            .map(|s| RecoveryObs {
+                recover: s.recover,
+                relock: s.relock,
+                period: s.period,
+            })
+            .collect();
+        let summary = summarize_recovery(&obs);
+        let mut covers: Vec<u64> = cells.iter().filter_map(|s| s.cover).collect();
+        let median_cover = median(&mut covers);
+        let touched = cells.iter().map(|s| u64::from(s.touched)).max();
+        let nanos: u64 = cells.iter().map(|s| s.nanos).sum();
+        curve.points.push(Point::new(
+            k as u64,
+            [
+                ("attempts", Json::Int(summary.attempts as u64)),
+                ("recovered", Json::Int(summary.recovered as u64)),
+                ("median_cover", int_or_null(median_cover)),
+                ("median_recover", int_or_null(summary.median_recover)),
+                ("worst_recover", int_or_null(summary.worst_recover)),
+                ("relocked", Json::Int(summary.relocked as u64)),
+                ("median_relock", int_or_null(summary.median_relock)),
+                ("median_period", int_or_null(summary.median_period)),
+                ("max_touched", int_or_null(touched)),
+                ("nanos", Json::Int(nanos)),
+            ],
+        ));
+    }
+    Json::obj([
+        ("curves", Json::Arr(vec![curve.to_json()])),
+        ("cells", Json::Int(scenarios.len() as u64)),
+        ("failures", Json::Arr(failures)),
+    ])
+}
+
+/// Builds the complete `recovery` report (bench `recovery`): one curve
+/// per `(kind, family, n)` unit with re-cover medians over `k`, plus the
+/// failed-cell ledger (`meta.failed_cells` / `meta.failures`) fed by the
+/// panic-contained driver.
+///
+/// # Errors
+///
+/// Fails when the state cannot be persisted or holds malformed units.
+pub fn recovery_report(
+    scale: Scale,
+    threads: usize,
+    state: &mut CampaignState,
+) -> Result<Json, String> {
+    let ns = recovery_ns(scale);
+    let seed_count = recovery_seed_count(scale);
+    let mut curves: Vec<Json> = Vec::new();
+    let mut failures: Vec<Json> = Vec::new();
+    let mut cells = 0u64;
+    for kind in recovery_kinds() {
+        for family in recovery_families() {
+            for &n in ns {
+                let key = format!("{}/{}/n{n}", kind.label(), family.label());
+                let unit = state.unit(&key, || {
+                    run_recovery_unit(kind, family, n, seed_count, threads)
+                })?;
+                curves.extend(unit_curves(&unit)?);
+                cells += unit.get("cells").and_then(Json::as_u64).unwrap_or(0);
+                if let Some(unit_failures) = unit.get("failures").and_then(Json::as_arr) {
+                    failures.extend(unit_failures.iter().cloned());
+                }
+            }
+        }
+    }
+    let meta = Json::obj([
+        (
+            "ns",
+            Json::Arr(ns.iter().map(|&n| Json::Int(n as u64)).collect()),
+        ),
+        ("seed_count", Json::Int(seed_count as u64)),
+        (
+            "kinds",
+            Json::Arr(
+                recovery_kinds()
+                    .iter()
+                    .map(|k| Json::Str(k.label().into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "families",
+            Json::Arr(
+                recovery_families()
+                    .iter()
+                    .map(|f| Json::Str(f.label()))
+                    .collect(),
+            ),
+        ),
+        ("placement", Json::Str("random".into())),
+        (
+            "ks_rule",
+            Json::Str("1,4,16,n/16 (deduplicated, capped at n/16)".into()),
+        ),
+        ("cells", Json::Int(cells)),
+        ("failed_cells", Json::Int(failures.len() as u64)),
+        ("failures", Json::Arr(failures)),
+    ]);
+    Ok(report_json("recovery", threads, meta, curves))
+}
+
 fn report_json(bench: &str, threads: usize, meta: Json, curves: Vec<Json>) -> Json {
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
@@ -892,6 +1168,7 @@ pub fn build_report(
     match campaign {
         FAMILY_SPEEDUP => family_speedup_report(scale, threads, state),
         RING_LARGE_N => ring_large_n_report(scale, threads, state),
+        RECOVERY => recovery_report(scale, threads, state),
         other => Err(format!(
             "unknown campaign {other:?} (defined: {})",
             NAMES.join(", ")
@@ -1058,6 +1335,99 @@ mod tests {
         assert!(fresh.unit("probe", || Json::Null).is_ok());
         assert_eq!(fresh.computed, 1);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_test_scale_passes_its_own_validator() {
+        let mut state = CampaignState::ephemeral(RECOVERY, Scale::Test);
+        let report = recovery_report(Scale::Test, 2, &mut state).expect("report builds");
+        let errors = validate::validate(&report, &validate::Options::default());
+        assert_eq!(errors, Vec::<String>::new());
+        let curves = report.get("curves").and_then(Json::as_arr).unwrap();
+        assert_eq!(curves.len(), 4 * 3 * 2, "4 kinds × 3 families × 2 sizes");
+        let meta = report.get("meta").unwrap();
+        assert_eq!(meta.get("failed_cells").and_then(Json::as_u64), Some(0));
+        for curve in curves {
+            let kind = curve
+                .get("meta")
+                .and_then(|m| m.get("kind"))
+                .and_then(Json::as_str)
+                .unwrap();
+            for point in curve.get("points").and_then(Json::as_arr).unwrap() {
+                let recovered = point.get("recovered").and_then(Json::as_u64).unwrap();
+                let attempts = point.get("attempts").and_then(Json::as_u64).unwrap();
+                assert!(
+                    attempts >= 1 && recovered == attempts,
+                    "{kind}: all cells recover at test scale"
+                );
+                let k = point.get("x").and_then(Json::as_u64).unwrap();
+                let relocked = point.get("relocked").and_then(Json::as_u64).unwrap();
+                if k == 1 {
+                    assert_eq!(relocked, attempts, "k = 1 cells carry the lock-in probe");
+                } else {
+                    assert_eq!(relocked, 0, "k > 1 cells skip the probe");
+                    assert!(point.get("median_relock").is_some_and(Json::is_null));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_state_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("rotor-recovery-test-{}", std::process::id()));
+        let path = dir.join("state.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut first =
+            CampaignState::load(path.clone(), RECOVERY, Scale::Test, false).expect("fresh state");
+        let a = recovery_report(Scale::Test, 2, &mut first).expect("first pass");
+        assert_eq!((first.resumed, first.computed), (0, 4 * 3 * 2));
+
+        let mut second =
+            CampaignState::load(path.clone(), RECOVERY, Scale::Test, false).expect("reload");
+        let b = recovery_report(Scale::Test, 1, &mut second).expect("resumed pass");
+        assert_eq!((second.resumed, second.computed), (4 * 3 * 2, 0));
+        assert_eq!(crate::compare::compare(&a, &b), Vec::<String>::new());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_state_file_falls_back_to_fresh() {
+        let dir = std::env::temp_dir().join(format!("rotor-campaign-bad-{}", std::process::id()));
+        let path = dir.join("state.json");
+        let mut s = CampaignState::load(path.clone(), FAMILY_SPEEDUP, Scale::Test, false).unwrap();
+        s.unit("u", || Json::Int(7)).unwrap();
+
+        // A pass killed mid-persist leaves a JSON prefix: loading it must
+        // warn and start fresh, not abort the campaign.
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+        let mut half = CampaignState::load(path.clone(), FAMILY_SPEEDUP, Scale::Test, false)
+            .expect("truncated state is recoverable");
+        assert_eq!(half.resumed, 0, "no unit survives a truncated file");
+        let recomputed = half.unit("u", || Json::Int(8)).unwrap();
+        assert_eq!(recomputed.as_u64(), Some(8));
+        assert_eq!(half.computed, 1, "unit recomputed, file rewritten");
+        // and the rewritten file round-trips again
+        let again = CampaignState::load(path.clone(), FAMILY_SPEEDUP, Scale::Test, false).unwrap();
+        assert_eq!(again.units.len(), 1);
+
+        // Outright garbage and unit-less JSON take the same fallback.
+        std::fs::write(&path, "{ not json at all").unwrap();
+        assert!(CampaignState::load(path.clone(), FAMILY_SPEEDUP, Scale::Test, false).is_ok());
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"schema\": \"{STATE_SCHEMA}\", \"campaign\": \"{FAMILY_SPEEDUP}\", \
+                 \"scale\": \"test\"}}\n"
+            ),
+        )
+        .unwrap();
+        let no_units =
+            CampaignState::load(path.clone(), FAMILY_SPEEDUP, Scale::Test, false).unwrap();
+        assert!(no_units.units.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -15,7 +15,8 @@
 //!   experiment (`xtask compare a.json b.json`, the CI 1-vs-2-thread
 //!   determinism gate);
 //! * [`campaign`] — named, resumable sweep campaigns
-//!   (`xtask campaign family-speedup`, `xtask campaign ring-large-n`).
+//!   (`xtask campaign family-speedup`, `xtask campaign ring-large-n`,
+//!   `xtask campaign recovery` — the fault-injection recovery curves).
 //!
 //! ```
 //! use rotor_analysis::report::Json;

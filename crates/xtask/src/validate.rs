@@ -335,6 +335,100 @@ fn check_bench_rules(
                 }
             }
         }
+        "recovery" => {
+            check_x_increasing(ctx, points, errors);
+            for key in ["kind", "family", "n", "process"] {
+                if !meta_has(key) {
+                    errors.push(format!("{ctx}: meta.{key} missing"));
+                }
+            }
+            for (pi, p) in points.iter().enumerate() {
+                let mut err = |msg: String| errors.push(format!("{ctx}: point #{pi}: {msg}"));
+                let attempts = match int_field(p, "attempts") {
+                    Ok(a) if a >= 1 => Some(a),
+                    Ok(a) => {
+                        err(format!("attempts = {a} must be >= 1"));
+                        None
+                    }
+                    Err(e) => {
+                        err(e);
+                        None
+                    }
+                };
+                let recovered = match int_field(p, "recovered") {
+                    Ok(r) => Some(r),
+                    Err(e) => {
+                        err(e);
+                        None
+                    }
+                };
+                if let (Some(a), Some(r)) = (attempts, recovered) {
+                    if r > a {
+                        err(format!("recovered = {r} exceeds attempts = {a}"));
+                    }
+                }
+                // Timeout honesty: the re-cover order statistics exist
+                // exactly when something recovered, and are null (never
+                // omitted) otherwise.
+                match recovered {
+                    Some(0) => {
+                        for key in ["median_recover", "worst_recover"] {
+                            if !p.get(key).is_some_and(Json::is_null) {
+                                err(format!("{key} must be null when recovered is 0"));
+                            }
+                        }
+                    }
+                    Some(_) => match (
+                        int_field(p, "median_recover"),
+                        int_field(p, "worst_recover"),
+                    ) {
+                        (Ok(m), Ok(w)) if m <= w => {}
+                        (Ok(m), Ok(w)) => err(format!("median_recover {m} > worst_recover {w}")),
+                        (m, w) => {
+                            for r in [m, w] {
+                                if let Err(e) = r {
+                                    err(e);
+                                }
+                            }
+                        }
+                    },
+                    None => {}
+                }
+                // Same shape for the optional re-lock-in probe columns.
+                let relocked = match int_field(p, "relocked") {
+                    Ok(r) => Some(r),
+                    Err(e) => {
+                        err(e);
+                        None
+                    }
+                };
+                if let (Some(a), Some(r)) = (attempts, relocked) {
+                    if r > a {
+                        err(format!("relocked = {r} exceeds attempts = {a}"));
+                    }
+                }
+                match relocked {
+                    Some(0) => {
+                        for key in ["median_relock", "median_period"] {
+                            if !p.get(key).is_some_and(Json::is_null) {
+                                err(format!("{key} must be null when relocked is 0"));
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        if let Err(e) = int_field(p, "median_relock") {
+                            err(e);
+                        }
+                        match int_field(p, "median_period") {
+                            Ok(period) if period >= 1 => {}
+                            Ok(period) => err(format!("median_period = {period} must be >= 1")),
+                            Err(e) => err(e),
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
         "engine_throughput" => {
             for (pi, p) in points.iter().enumerate() {
                 match num_field(p, "rounds_per_sec") {
@@ -462,6 +556,45 @@ fn check_report_rules(bench: &str, report: &Json, curves: &[Json], errors: &mut 
                 "placement columns {placements:?}, expected \
                  [\"all_on_one\", \"equally_spaced\", \"random\"]"
             ));
+        }
+    }
+    if bench == "recovery" {
+        // The robustness claim needs all three state-disturbance kinds on
+        // more than one topology.
+        let mut kinds: Vec<&str> = curves
+            .iter()
+            .filter_map(|c| c.get("meta")?.get("kind")?.as_str())
+            .collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        for required in ["churn", "corrupt", "crash"] {
+            if !kinds.contains(&required) {
+                errors.push(format!(
+                    "disturbance kinds {kinds:?} must include {required:?}"
+                ));
+            }
+        }
+        let mut families: Vec<&str> = curves
+            .iter()
+            .filter_map(|c| c.get("meta")?.get("family")?.as_str())
+            .collect();
+        families.sort_unstable();
+        families.dedup();
+        if families.len() < 2 {
+            errors.push(format!(
+                "families {families:?} must span at least two graph families"
+            ));
+        }
+        // The panic-contained driver's ledger must be present even (and
+        // especially) when it is zero — its absence means failed cells
+        // could vanish silently.
+        if report
+            .get("meta")
+            .and_then(|m| m.get("failed_cells"))
+            .and_then(Json::as_u64)
+            .is_none()
+        {
+            errors.push("meta.failed_cells missing or not an unsigned integer".into());
         }
     }
     if bench == "return_time" {
@@ -687,6 +820,92 @@ mod tests {
         let errors = validate(&bad, &Options::default());
         assert!(errors.iter().any(|e| e.contains("placement columns")));
         assert!(errors.iter().any(|e| e.contains("needs cover")));
+    }
+
+    /// One well-formed recovery point with every column populated.
+    const RECOVERY_POINT: &str = r#"{"x":1,"attempts":3,"recovered":3,"median_cover":500,
+        "median_recover":120,"worst_recover":300,"relocked":3,"median_relock":64,
+        "median_period":32,"max_touched":4,"nanos":1000}"#;
+
+    fn recovery_report_with(points: &str, kind: &str, family: &str, report_meta: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"rotor-experiment/1","bench":"recovery","threads":2,
+                 "meta":{report_meta},
+                 "curves":[
+                   {{"label":"{kind}/{family}/n32",
+                     "meta":{{"process":"rotor","kind":"{kind}","family":"{family}","n":32}},
+                     "fit":null,"points":{points}}},
+                   {{"label":"corrupt/ring/n32",
+                     "meta":{{"process":"rotor","kind":"corrupt","family":"ring","n":32}},
+                     "fit":null,"points":[{RECOVERY_POINT}]}},
+                   {{"label":"crash/ring/n32",
+                     "meta":{{"process":"rotor","kind":"crash","family":"ring","n":32}},
+                     "fit":null,"points":[{RECOVERY_POINT}]}},
+                   {{"label":"churn/tree/n32",
+                     "meta":{{"process":"rotor","kind":"churn","family":"binary_tree","n":32}},
+                     "fit":null,"points":[{RECOVERY_POINT}]}}
+                 ]}}"#
+        ))
+        .expect("well-formed test report")
+    }
+
+    #[test]
+    fn recovery_rules() {
+        let ok = recovery_report_with(
+            // a timed-out point: zero recoveries, all statistics null
+            r#"[{"x":1,"attempts":2,"recovered":0,"median_cover":null,
+                 "median_recover":null,"worst_recover":null,"relocked":0,
+                 "median_relock":null,"median_period":null,"max_touched":0,"nanos":7}]"#,
+            "stall",
+            "ring",
+            r#"{"failed_cells":0}"#,
+        );
+        assert_eq!(validate(&ok, &Options::default()), Vec::<String>::new());
+
+        // recovered > attempts, non-null-when-zero, median > worst,
+        // period 0 — each its own violation
+        let bad = recovery_report_with(
+            r#"[{"x":1,"attempts":2,"recovered":3,"median_cover":null,
+                 "median_recover":400,"worst_recover":300,"relocked":2,
+                 "median_relock":10,"median_period":0,"max_touched":1,"nanos":7},
+                {"x":4,"attempts":2,"recovered":0,"median_cover":null,
+                 "median_recover":17,"worst_recover":null,"relocked":0,
+                 "median_relock":null,"median_period":null,"max_touched":1,"nanos":7}]"#,
+            "stall",
+            "ring",
+            r#"{"failed_cells":0}"#,
+        );
+        let errors = validate(&bad, &Options::default());
+        assert!(errors.iter().any(|e| e.contains("exceeds attempts")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("median_recover 400 > worst_recover 300")));
+        assert!(errors.iter().any(|e| e.contains("median_period = 0")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("median_recover must be null when recovered is 0")));
+
+        // missing failed_cells ledger is a violation in itself
+        let no_ledger = recovery_report_with(&format!("[{RECOVERY_POINT}]"), "stall", "ring", "{}");
+        assert!(validate(&no_ledger, &Options::default())
+            .iter()
+            .any(|e| e.contains("failed_cells")));
+
+        // dropping a required disturbance kind or the second family fails
+        let single_family = Json::parse(&format!(
+            r#"{{"schema":"rotor-experiment/1","bench":"recovery","threads":2,
+                 "meta":{{"failed_cells":0}},
+                 "curves":[{{"label":"corrupt/ring/n32",
+                     "meta":{{"process":"rotor","kind":"corrupt","family":"ring","n":32}},
+                     "fit":null,"points":[{RECOVERY_POINT}]}}]}}"#
+        ))
+        .unwrap();
+        let errors = validate(&single_family, &Options::default());
+        assert!(errors.iter().any(|e| e.contains("must include \"churn\"")));
+        assert!(errors.iter().any(|e| e.contains("must include \"crash\"")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("at least two graph families")));
     }
 
     #[test]
