@@ -1,19 +1,28 @@
 //! Round throughput of the general-graph engine on the standard workloads
 //! (grid, hypercube, random regular) — the binding constraint on every
-//! sweep in this repository.
+//! sweep in this repository — plus the segmented ring backend's
+//! rounds/sec-vs-segments curve on a worst-case large-`n` cell.
 //!
 //! Writes `BENCH_engine_throughput.json` (schema `rotor-experiment/1`)
-//! with rounds/sec per workload (x = node count).
+//! with rounds/sec per workload (x = node count) and per segment count
+//! (x = P) for the segmented curve. The validator requires the segmented
+//! curve to exist, to sweep P ∈ {1, 2, 4, 8}, and to stay at least as
+//! fast as the serial path at P ≥ 4.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
 use rotor_core::init::PointerInit;
-use rotor_core::Engine;
+use rotor_core::placement::Placement;
+use rotor_core::{Engine, SegmentedRing};
 use rotor_graph::{builders, NodeId, PortGraph};
 use std::time::Instant;
 
 /// Agents per workload: enough to keep a meaningful occupied set alive.
 const AGENTS: u32 = 64;
+
+/// Segment counts of the segmented-ring curve (x axis; `P = 1` is the
+/// serial [`rotor_core::RingRouter`] path).
+const SEGMENTS: [usize; 4] = [1, 2, 4, 8];
 
 fn workloads() -> Vec<(&'static str, PortGraph)> {
     vec![
@@ -41,6 +50,34 @@ fn measure_rounds_per_sec(g: &PortGraph, rounds: u64) -> f64 {
     rounds as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Rounds/sec of the segmented ring backend on the worst-case cell (all
+/// agents on one node, pointers toward it — Theorem 1's initialisation),
+/// one value per entry of [`SEGMENTS`]. Each engine is measured `reps`
+/// times in a round-robin over the partition counts and the best
+/// repetition is kept, so transient machine interference cannot skew the
+/// P-to-P comparison the validator gates on.
+fn measure_segmented_curve(n: usize, k: usize, rounds: u64, reps: usize) -> Vec<f64> {
+    let starts = Placement::AllOnOne(0).positions(n, k);
+    let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+    let mut engines: Vec<SegmentedRing> = SEGMENTS
+        .iter()
+        .map(|&p| {
+            let mut r = SegmentedRing::new(n, &starts, &dirs, p);
+            r.run(rounds / 2 + 1); // warm-up: spread the occupied band
+            r
+        })
+        .collect();
+    let mut best = vec![0f64; engines.len()];
+    for _ in 0..reps {
+        for (b, r) in best.iter_mut().zip(&mut engines) {
+            let start = Instant::now();
+            r.run(rounds);
+            *b = b.max(rounds as f64 / start.elapsed().as_secs_f64());
+        }
+    }
+    best
+}
+
 fn bench(c: &mut Criterion) {
     let rounds: u64 = if c.is_test_mode() { 64 } else { 4096 };
 
@@ -61,6 +98,37 @@ fn bench(c: &mut Criterion) {
         ));
     }
     report.curves.push(curve);
+
+    // The segmented ring backend on a worst-case large-n cell: x = P.
+    // P = 1 is the fully instrumented serial router; P ≥ 2 runs the lean
+    // segmented engine, so the curve is the honest price/win of the
+    // backend swap the ring-large-n campaign rides.
+    let (seg_n, seg_k, seg_rounds, seg_reps) = if c.is_test_mode() {
+        (4096, 64, 64, 1)
+    } else {
+        (1 << 21, 8192, 4096, 5)
+    };
+    let mut seg_curve = Curve::new("segmented_ring_rounds_per_sec")
+        .meta("n", Json::Int(seg_n as u64))
+        .meta("k", Json::Int(seg_k as u64))
+        .meta("placement", Json::Str("all_on_one".into()))
+        .meta("init", Json::Str("toward_nearest_agent".into()))
+        .meta("rounds", Json::Int(seg_rounds))
+        .meta("reps", Json::Int(seg_reps as u64));
+    let rps_curve = measure_segmented_curve(seg_n, seg_k, seg_rounds, seg_reps);
+    let base = rps_curve[0];
+    for (p, rps) in SEGMENTS.into_iter().zip(rps_curve) {
+        seg_curve.points.push(Point::new(
+            p as u64,
+            [
+                ("segments", Json::Int(p as u64)),
+                ("rounds_per_sec", Json::Num(rps)),
+                ("speedup_vs_serial", Json::Num(rps / base)),
+            ],
+        ));
+    }
+    report.curves.push(seg_curve);
+
     if c.is_test_mode() {
         println!("test mode: BENCH_engine_throughput.json left untouched");
     } else {

@@ -24,6 +24,10 @@
 //! * [`RingRouter`] — a ring-specialised engine (pointer = direction bit,
 //!   `O(k log k)` per round) used by the large parameter sweeps, with
 //!   online tracking of the visit metadata needed for domain analysis.
+//! * [`SegmentedRing`] — the intra-instance parallel backend: the ring cut
+//!   into `P` contiguous segments exchanging boundary agent streams at a
+//!   per-round barrier, bit-identical to [`RingRouter`] at every `P`
+//!   (`ROTOR_SEGMENTS` selects `P`; `P = 1` is the serial path).
 //! * [`init`] — the pointer initialisations the paper's theorems use:
 //!   *negative* (toward the nearest agent — every first visit reflects),
 //!   *positive* (away), uniform, random and custom adversarial.
@@ -81,9 +85,11 @@ pub mod placement;
 mod process;
 mod ring;
 pub mod rng;
+pub mod segring;
 
 pub use engine::{Engine, EngineState};
 pub use process::{CoverProcess, Observer, Probe};
 pub use ring::{RingRouter, RingState, VisitRecord};
+pub use segring::SegmentedRing;
 
 pub use rotor_graph::{NodeId, PortGraph};

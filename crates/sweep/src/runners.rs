@@ -13,7 +13,7 @@ use crate::grid::Cell;
 use crate::scenario::Scenario;
 use rotor_core::limit::{self, CycleInfo};
 use rotor_core::rng::{stream, STREAM_WALK};
-use rotor_core::{CoverProcess, Engine, Observer, RingRouter};
+use rotor_core::{CoverProcess, Engine, Observer, RingRouter, SegmentedRing};
 use rotor_graph::{NodeId, PortGraph};
 use rotor_walks::ParallelWalk;
 use std::time::Instant;
@@ -28,6 +28,13 @@ pub enum ProcessKind {
     /// The ring-specialised rotor-router ([`RingRouter`]) — explicit fast
     /// path; only valid on the ring.
     RotorRing,
+    /// The segmented-parallel ring backend ([`SegmentedRing`]): the ring
+    /// cut into `ROTOR_SEGMENTS` contiguous segments, bit-identical to
+    /// [`RingRouter`] at every segment count, with the worker-thread count
+    /// taken from the [`thread_plan`](crate::driver::thread_plan) budget so
+    /// intra-instance workers and sweep shards never oversubscribe the
+    /// machine. Only valid on the ring.
+    RotorSegmented,
     /// The general-graph rotor-router ([`Engine`]) — on the ring, used to
     /// cross-check the specialised engine at sweep scale.
     RotorGeneral,
@@ -41,6 +48,7 @@ impl ProcessKind {
         match self {
             ProcessKind::Rotor => "rotor",
             ProcessKind::RotorRing => "rotor_ring",
+            ProcessKind::RotorSegmented => "rotor_seg",
             ProcessKind::RotorGeneral => "rotor_general",
             ProcessKind::RandomWalk => "walk",
         }
@@ -66,9 +74,10 @@ pub struct CoverSample {
     /// Wall-clock nanoseconds spent simulating (excludes setup).
     pub nanos: u64,
     /// Which engine actually ran the cell
-    /// ([`CoverProcess::kind_name`]): `"rotor_ring"`, `"rotor_general"`
-    /// or `"walk"` — the resolution of the [`ProcessKind::Rotor`]
-    /// auto-dispatch, recorded so reports can carry the backend column.
+    /// ([`CoverProcess::kind_name`]): `"rotor_ring"`, `"rotor_ring_seg"`,
+    /// `"rotor_general"` or `"walk"` — the resolution of the
+    /// [`ProcessKind::Rotor`] auto-dispatch, recorded so reports can carry
+    /// the backend column.
     pub backend: &'static str,
 }
 
@@ -148,7 +157,10 @@ pub fn run_scenario_observed<O>(
     observer: &mut O,
 ) -> CoverSample
 where
-    O: Observer<RingRouter> + for<'g> Observer<Engine<'g>> + for<'g> Observer<ParallelWalk<'g>>,
+    O: Observer<RingRouter>
+        + Observer<SegmentedRing>
+        + for<'g> Observer<Engine<'g>>
+        + for<'g> Observer<ParallelWalk<'g>>,
 {
     let positions = sc.positions();
     let on_ring = sc.family.is_ring();
@@ -158,9 +170,16 @@ where
             let mut p = RingRouter::new(sc.n, &positions, &dirs);
             finish_observed(sc, &mut p, max_rounds, observer)
         }
-        ProcessKind::RotorRing => {
+        ProcessKind::RotorSegmented if on_ring => {
+            let dirs = sc.ring_directions(&positions);
+            let segments = rotor_core::segring::segment_count_from_env();
+            let workers = crate::driver::thread_plan().1;
+            let mut p = SegmentedRing::with_workers(sc.n, &positions, &dirs, segments, workers);
+            finish_observed(sc, &mut p, max_rounds, observer)
+        }
+        ProcessKind::RotorRing | ProcessKind::RotorSegmented => {
             panic!(
-                "RotorRing requires the Ring family, got {}",
+                "{kind:?} requires the Ring family, got {}",
                 sc.family.label()
             )
         }
@@ -528,6 +547,55 @@ mod tests {
             init: InitSpec::Uniform(0),
         };
         run_scenario(&sc, ProcessKind::RotorRing, 100);
+    }
+
+    #[test]
+    fn segmented_kind_matches_ring_kind_cell_by_cell() {
+        // ProcessKind::RotorSegmented must be a pure backend swap: same
+        // cover, same rounds, for every cell — whatever ROTOR_SEGMENTS is
+        // set to in the environment running this test.
+        let scenarios = ScenarioGrid {
+            families: vec![GraphFamily::Ring],
+            ns: vec![32, 61],
+            ks: vec![1, 2, 5],
+            seed_count: 2,
+            base_seed: 11,
+            placement: PlacementSpec::Random,
+            init: InitSpec::Random,
+        }
+        .scenarios();
+        let ring: Vec<CoverSample> = run_sharded(&scenarios, 2, |_, s| {
+            run_scenario(s, ProcessKind::RotorRing, 1 << 22)
+        });
+        let seg: Vec<CoverSample> = run_sharded(&scenarios, 2, |_, s| {
+            run_scenario(s, ProcessKind::RotorSegmented, 1 << 22)
+        });
+        for (r, s) in ring.iter().zip(&seg) {
+            assert_eq!(
+                (r.cover, r.rounds),
+                (s.cover, s.rounds),
+                "segmented backend diverged at n={} k={} seed={}",
+                r.n,
+                r.k,
+                r.seed
+            );
+            assert_eq!(s.backend, "rotor_ring_seg");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "RotorSegmented requires the Ring family")]
+    fn segmented_on_non_ring_panics() {
+        let sc = Scenario {
+            family: GraphFamily::Complete,
+            n: 8,
+            k: 1,
+            seed_index: 0,
+            seed: 1,
+            placement: PlacementSpec::AllOnOne,
+            init: InitSpec::Uniform(0),
+        };
+        run_scenario(&sc, ProcessKind::RotorSegmented, 100);
     }
 
     #[test]

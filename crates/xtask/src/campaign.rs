@@ -22,10 +22,14 @@
 //!   medians, and the report meta pools the per-family scaled exponents
 //!   across all three sizes. Writes `BENCH_general_graphs.json`.
 //! * [`RING_LARGE_N`] — the ring `walk_vs_rotor` / `table1` grids at
-//!   `n ≥ 10⁵` (worst-case, best-case and paired random columns), meant
-//!   for a multi-core box via `ROTOR_SWEEP_THREADS` / `--threads`; the
-//!   resumable unit granularity is what makes the multi-hour worst-case
-//!   cells tractable. Writes `BENCH_ring_large_n.json`.
+//!   `n ≥ 10⁵` (worst-case, best-case and paired random columns). The
+//!   rotor columns run the segmented-parallel backend
+//!   ([`ProcessKind::RotorSegmented`], partition count from
+//!   `ROTOR_SEGMENTS`, bit-identical at every setting), and the sweep
+//!   shard count is clamped against the segment workers by the shared
+//!   thread budget — so the campaign is a laptop run, not a
+//!   wait-for-a-big-box one; the resumable unit granularity still covers
+//!   interruptions. Writes `BENCH_ring_large_n.json`.
 //! * [`RECOVERY`] — the fault-injection robustness campaign: every
 //!   disturbance kind (pointer corruption, agent crashes, §2.1 stalls,
 //!   edge churn) struck after cover on ring, random-regular and
@@ -668,8 +672,10 @@ pub fn family_speedup_report(
 fn large_ns(scale: Scale) -> &'static [usize] {
     match scale {
         // ≥ 10⁵ as the ROADMAP asks; powers of two keep n/16 on the
-        // shared k ladder.
-        Scale::Full => &[131_072, 262_144],
+        // shared k ladder. n = 262144 rides the same resumable state on
+        // bigger hardware — the report assembly needs every unit, so the
+        // committed baseline stops where one box can actually finish.
+        Scale::Full => &[131_072],
         Scale::Smoke => &[128, 256],
         Scale::Test => &[64, 128],
     }
@@ -756,8 +762,12 @@ fn run_large_unit(column: &RingColumn, n: usize, scale: Scale, threads: usize) -
         init: column.init,
     };
     let scenarios = grid.scenarios();
+    // The rotor columns run the segmented backend (bit-identical to the
+    // serial router at every ROTOR_SEGMENTS — pinned by the equivalence
+    // property tests), so the worst-case large-n cells parallelize inside
+    // the instance instead of serializing behind the cell boundary.
     let rotor: Vec<CoverSample> = run_sharded(&scenarios, threads, |_, sc| {
-        run_scenario(sc, ProcessKind::Rotor, u64::MAX)
+        run_scenario(sc, ProcessKind::RotorSegmented, u64::MAX)
     });
     let walks: Option<Vec<CoverSample>> = column.paired.then(|| {
         run_sharded(&scenarios, threads, |_, sc| {
@@ -782,7 +792,8 @@ fn run_large_unit(column: &RingColumn, n: usize, scale: Scale, threads: usize) -
     } else {
         format!("{}/n{n}", column.name)
     };
-    let mut rotor_curve = curve_meta(Curve::new(rotor_label), "rotor");
+    let mut rotor_curve = curve_meta(Curve::new(rotor_label), "rotor")
+        .meta("backend", Json::Str(rotor[0].backend.into()));
     let mut rotor_scaled: Vec<(u64, f64)> = Vec::new();
     let mut walk_curve = curve_meta(Curve::new(format!("walk/{}/n{n}", column.name)), "walk");
     let mut walk_scaled: Vec<(u64, f64)> = Vec::new();

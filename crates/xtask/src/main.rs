@@ -159,7 +159,9 @@ fn run_campaign(args: Vec<&str>) -> ExitCode {
     } else {
         campaign::Scale::Full
     };
-    let threads = threads.unwrap_or_else(rotor_sweep::thread_count);
+    // Default shard count comes from the shared budget: sweep shards ×
+    // ring-segment workers never oversubscribe the machine.
+    let threads = threads.unwrap_or_else(|| rotor_sweep::thread_plan().0);
     match campaign::run(name, scale, threads, out, state, fresh) {
         Ok(summary) => {
             println!(

@@ -597,6 +597,56 @@ fn check_report_rules(bench: &str, report: &Json, curves: &[Json], errors: &mut 
             errors.push("meta.failed_cells missing or not an unsigned integer".into());
         }
     }
+    if bench == "engine_throughput" {
+        // The parallel-backend contract: the report must carry the
+        // segmented ring's rounds/sec-vs-segments curve over the full
+        // P ladder, and the backend must never be slower than the serial
+        // path once P ≥ 4 (the sanity floor under the ≥ 2× target).
+        let seg = curves.iter().find(|c| {
+            c.get("label")
+                .and_then(Json::as_str)
+                .is_some_and(|l| l.contains("segmented"))
+        });
+        match seg {
+            None => errors.push(
+                "missing the segmented ring rounds/sec-vs-segments curve \
+                 (label containing \"segmented\")"
+                    .into(),
+            ),
+            Some(curve) => {
+                let points = curve
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .map(<[Json]>::to_vec)
+                    .unwrap_or_default();
+                let xs: Vec<u64> = points.iter().filter_map(|p| p.get("x")?.as_u64()).collect();
+                if xs != [1, 2, 4, 8] {
+                    errors.push(format!(
+                        "segmented curve x = {xs:?}, expected segment counts [1, 2, 4, 8]"
+                    ));
+                }
+                let rps_at = |x: u64| {
+                    points
+                        .iter()
+                        .find(|p| p.get("x").and_then(Json::as_u64) == Some(x))
+                        .and_then(|p| p.get("rounds_per_sec"))
+                        .and_then(Json::as_f64)
+                };
+                if let Some(base) = rps_at(1) {
+                    for x in [4u64, 8] {
+                        match rps_at(x) {
+                            Some(r) if r >= base => {}
+                            Some(r) => errors.push(format!(
+                                "segmented backend at P = {x} ({r:.0} rounds/sec) is slower \
+                                 than the serial path ({base:.0} rounds/sec)"
+                            )),
+                            None => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
     if bench == "return_time" {
         let families: Vec<&str> = curves
             .iter()
@@ -923,13 +973,68 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("placement columns")));
     }
 
+    /// A well-formed engine_throughput report: the workload curve (x not
+    /// monotone by design) plus the required segmented curve.
+    fn throughput_report(seg_points: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"rotor-experiment/1","bench":"engine_throughput","threads":1,
+                 "meta":{{}},
+                 "curves":[
+                   {{"label":"rounds_per_sec","meta":{{}},"fit":null,
+                     "points":[{{"x":4096,"rounds_per_sec":1.0}},{{"x":1024,"rounds_per_sec":2.0}}]}},
+                   {{"label":"segmented_ring_rounds_per_sec","meta":{{"n":2097152}},"fit":null,
+                     "points":{seg_points}}}
+                 ]}}"#
+        ))
+        .expect("well-formed test report")
+    }
+
+    #[test]
+    fn engine_throughput_requires_the_segmented_curve() {
+        let ok = throughput_report(
+            r#"[{"x":1,"rounds_per_sec":100.0},{"x":2,"rounds_per_sec":150.0},
+                {"x":4,"rounds_per_sec":250.0},{"x":8,"rounds_per_sec":240.0}]"#,
+        );
+        assert_eq!(validate(&ok, &Options::default()), Vec::<String>::new());
+
+        // missing segmented curve
+        let missing = minimal(
+            "engine_throughput",
+            r#"[{"x":4096,"rounds_per_sec":1.0}]"#,
+            "{}",
+            "{}",
+        );
+        assert!(validate(&missing, &Options::default())
+            .iter()
+            .any(|e| e.contains("missing the segmented ring")));
+
+        // wrong P ladder
+        let short =
+            throughput_report(r#"[{"x":1,"rounds_per_sec":100.0},{"x":4,"rounds_per_sec":250.0}]"#);
+        assert!(validate(&short, &Options::default())
+            .iter()
+            .any(|e| e.contains("expected segment counts")));
+
+        // a P >= 4 point slower than serial trips the sanity floor
+        let slow = throughput_report(
+            r#"[{"x":1,"rounds_per_sec":100.0},{"x":2,"rounds_per_sec":90.0},
+                {"x":4,"rounds_per_sec":80.0},{"x":8,"rounds_per_sec":120.0}]"#,
+        );
+        let errors = validate(&slow, &Options::default());
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("P = 4") && e.contains("slower")));
+        assert!(
+            !errors.iter().any(|e| e.contains("P = 2")),
+            "P = 2 is not gated"
+        );
+    }
+
     #[test]
     fn x_monotonicity_is_per_bench() {
-        let throughput = minimal(
-            "engine_throughput",
-            r#"[{"x":4096,"rounds_per_sec":1.0},{"x":1024,"rounds_per_sec":2.0}]"#,
-            "{}",
-            "{}",
+        let throughput = throughput_report(
+            r#"[{"x":1,"rounds_per_sec":100.0},{"x":2,"rounds_per_sec":150.0},
+                {"x":4,"rounds_per_sec":250.0},{"x":8,"rounds_per_sec":240.0}]"#,
         );
         assert_eq!(
             validate(&throughput, &Options::default()),
