@@ -141,7 +141,7 @@ pub fn bootstrap_median_band(
     let mut scratch = vec![0u64; samples.len()];
     let mut medians = Vec::with_capacity(resamples);
     for _ in 0..resamples {
-        for slot in scratch.iter_mut() {
+        for slot in &mut scratch {
             *slot = samples[rng.gen_range(0..samples.len())];
         }
         medians.push(median(&mut scratch).expect("non-empty resample"));
@@ -212,9 +212,13 @@ pub struct RegimeFit {
 /// residual)`. Requires ≥ 2 distinct `x` (checked by callers).
 fn least_squares(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     let n = xs.len() as f64;
+    // lint: allow(float-accumulation) -- serial fold over a slice in index order; the order is schedule-independent
     let mx = xs.iter().sum::<f64>() / n;
+    // lint: allow(float-accumulation) -- serial fold over a slice in index order; the order is schedule-independent
     let my = ys.iter().sum::<f64>() / n;
+    // lint: allow(float-accumulation) -- serial fold over a slice in index order; the order is schedule-independent
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    // lint: allow(float-accumulation) -- serial fold over a slice in index order; the order is schedule-independent
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let b = sxy / sxx;
     let a = my - b * mx;
@@ -225,6 +229,7 @@ fn least_squares(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
             let e = y - (a + b * x);
             e * e
         })
+        // lint: allow(float-accumulation) -- serial fold over a slice in index order; the order is schedule-independent
         .sum::<f64>()
         / n;
     (a, b, res)

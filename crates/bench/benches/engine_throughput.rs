@@ -9,6 +9,8 @@
 //! curve to exist, to sweep P ∈ {1, 2, 4, 8}, and to stay at least as
 //! fast as the serial path at P ≥ 4.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
 use rotor_core::init::PointerInit;
@@ -45,6 +47,8 @@ fn measure_rounds_per_sec(g: &PortGraph, rounds: u64) -> f64 {
     let agents = spread_agents(g, AGENTS);
     let mut e = Engine::new(g, &agents, &PointerInit::Random(7));
     e.run(rounds / 10 + 1); // warm-up: caches, occupied list steady state
+
+    // lint: allow(wall-clock) -- rounds/sec is the measured quantity of this bench, never a deterministic column
     let start = Instant::now();
     e.run(rounds);
     rounds as f64 / start.elapsed().as_secs_f64()
@@ -70,6 +74,7 @@ fn measure_segmented_curve(n: usize, k: usize, rounds: u64, reps: usize) -> Vec<
     let mut best = vec![0f64; engines.len()];
     for _ in 0..reps {
         for (b, r) in best.iter_mut().zip(&mut engines) {
+            // lint: allow(wall-clock) -- best-of-reps segmented-curve timing, a measured quantity
             let start = Instant::now();
             r.run(rounds);
             *b = b.max(rounds as f64 / start.elapsed().as_secs_f64());

@@ -18,6 +18,8 @@
 //! nothing; a plain `cargo bench` run also writes nothing (the committed
 //! baseline belongs to the campaign).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rotor_bench::report::write_summary;
 use rotor_core::domains::{scan_domain_stats, DomainSampler};

@@ -17,6 +17,8 @@
 //! canonical path so CI can validate the schema; `-- --test` runs the
 //! tiny grids and writes nothing.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
 use rotor_sweep::{

@@ -13,6 +13,8 @@
 //! Writes `BENCH_table1.json` (schema `rotor-experiment/1`) with
 //! cover-time medians, regime fits and ring rounds/sec per `k`.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rotor_analysis::fit_regime;
 use rotor_bench::report::{Curve, ExperimentReport, Json, Point};
@@ -50,7 +52,7 @@ fn column(
 
 fn bench(c: &mut Criterion) {
     let n: usize = if c.is_test_mode() { 64 } else { 1024 };
-    let ks: Vec<usize> = (0..)
+    let ks: Vec<usize> = (0..usize::BITS)
         .map(|i| 1usize << i)
         .take_while(|&k| k <= n / 16)
         .collect();

@@ -28,6 +28,8 @@
 //! * `-- --test`: the smoke grid, nothing written (the committed baseline
 //!   is left untouched, like every other bench target).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rotor_analysis::{bootstrap_median_band, fit_regime, speedup_exponent};
 use rotor_bench::report::{Curve, ExperimentReport, Json, Point};

@@ -16,7 +16,7 @@
 
 use crate::engine::Engine;
 use crate::ring::RingRouter;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An explicit delayed deployment `D : V × N → N`: `delay(v, t)` agents are
 /// held at node `v` in round `t`.
@@ -39,7 +39,11 @@ use std::collections::HashMap;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct DelaySchedule {
-    held: HashMap<(u32, u64), u32>,
+    // Keyed store ordered by (node, round): lookups are point queries, and
+    // any future iteration (serialisation, debugging) is schedule-order
+    // independent by construction — a HashMap here was the workspace's one
+    // order-dependent container in result-bearing code.
+    held: BTreeMap<(u32, u64), u32>,
 }
 
 impl DelaySchedule {

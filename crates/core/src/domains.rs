@@ -397,7 +397,7 @@ mod tests {
         let mut r = RingRouter::new(n, &starts, &dirs);
         let k = starts
             .iter()
-            .collect::<std::collections::HashSet<_>>()
+            .collect::<std::collections::BTreeSet<_>>()
             .len();
         for _ in 0..500 {
             r.step();

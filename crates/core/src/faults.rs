@@ -197,7 +197,7 @@ impl Perturb for crate::RingRouter {
     }
 
     fn reset_cover_epoch(&mut self) {
-        crate::RingRouter::reset_cover_epoch(self)
+        crate::RingRouter::reset_cover_epoch(self);
     }
 }
 
@@ -211,7 +211,7 @@ impl Perturb for crate::Engine<'_> {
     }
 
     fn reset_cover_epoch(&mut self) {
-        crate::Engine::reset_cover_epoch(self)
+        crate::Engine::reset_cover_epoch(self);
     }
 }
 
@@ -225,7 +225,7 @@ impl Perturb for crate::SegmentedRing {
     }
 
     fn reset_cover_epoch(&mut self) {
-        crate::SegmentedRing::reset_cover_epoch(self)
+        crate::SegmentedRing::reset_cover_epoch(self);
     }
 }
 
@@ -253,7 +253,7 @@ pub fn churn_graph(g: &PortGraph, seed: u64, swaps: u32) -> (PortGraph, u32) {
         }
     }
     let norm = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
-    let mut present: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+    let mut present: std::collections::BTreeSet<(u32, u32)> = edges.iter().copied().collect();
     let rebuild = |edges: &[(u32, u32)]| -> Result<PortGraph, rotor_graph::GraphError> {
         let mut b = PortGraphBuilder::new(g.node_count());
         for &(u, v) in edges {

@@ -115,6 +115,7 @@ impl PointerInit {
                     .collect()
             }
             PointerInit::Random(seed) => {
+                // lint: allow(named-rng-streams) -- the variant's seed is pre-derived via STREAM_POINTER_INIT by rotor-sweep
                 let mut rng = SmallRng::seed_from_u64(*seed);
                 g.nodes()
                     .map(|v| rng.gen_range(0..g.degree(v)) as u32)
@@ -161,6 +162,7 @@ impl PointerInit {
                 ring_nearest_agent_dirs(n, &[*target], false)
             }
             PointerInit::Random(seed) => {
+                // lint: allow(named-rng-streams) -- the variant's seed is pre-derived via STREAM_POINTER_INIT by rotor-sweep
                 let mut rng = SmallRng::seed_from_u64(*seed);
                 (0..n).map(|_| rng.gen_range(0..2u8)).collect()
             }

@@ -44,7 +44,7 @@ pub trait Observer<P: CoverProcess + ?Sized> {
 
 impl<P: CoverProcess + ?Sized, F: FnMut(&P)> Observer<P> for F {
     fn observe(&mut self, process: &P) {
-        self(process)
+        self(process);
     }
 }
 

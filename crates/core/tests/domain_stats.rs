@@ -3,6 +3,8 @@
 //! ([`rotor_core::domains::scan_domain_stats`]) — the acceptance gate for
 //! the incremental instrumentation path.
 
+#![forbid(unsafe_code)]
+
 use rotor_core::domains::{border_count, scan_domain_stats, visited_domains, DomainStats};
 use rotor_core::init::PointerInit;
 use rotor_core::placement::Placement;

@@ -15,6 +15,8 @@
 //! and additionally that the ring-specialised merge stepper matches the
 //! general engine on random rings.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rotor_core::init::PointerInit;

@@ -12,6 +12,8 @@
 //!
 //! [`Perturb`]: rotor_core::faults::Perturb
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use rotor_core::domains::scan_domain_stats;

@@ -70,7 +70,7 @@ pub fn is_eulerian_circuit(g: &PortGraph, arcs: &[Arc]) -> bool {
         return false;
     }
     // Each arc exactly once (and each arc must exist).
-    let mut seen = std::collections::HashSet::with_capacity(arcs.len());
+    let mut seen = std::collections::BTreeSet::new();
     for a in arcs {
         if !g.has_edge(a.from, a.to) {
             return false;

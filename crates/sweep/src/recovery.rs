@@ -217,6 +217,7 @@ pub fn run_scenario_recovery(
     fault: &FaultSpec,
     opts: &RecoveryOptions,
 ) -> RecoverySample {
+    // lint: allow(wall-clock) -- feeds RecoverySample::nanos, a declared nondeterministic timing field
     let start = Instant::now();
     let positions = sc.positions();
     let mut plan = FaultPlan::new(sc.seed);

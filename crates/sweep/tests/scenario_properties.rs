@@ -2,6 +2,8 @@
 //! must yield a well-formed port graph, and scenario enumeration must be
 //! deterministic and collision-free across a mixed-family lattice.
 
+#![forbid(unsafe_code)]
+
 use rotor_graph::{algo, NodeId, PortGraph};
 use rotor_sweep::{GraphFamily, InitSpec, PlacementSpec, ScenarioGrid};
 
@@ -43,7 +45,7 @@ fn assert_well_formed(g: &PortGraph, label: &str) {
         let deg = g.degree(v);
         assert!(deg >= 1, "{label}: no isolated nodes");
         assert!(deg < n, "{label}: degree bounded by n-1 (simple graph)");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for p in 0..deg {
             let u = g.neighbor(v, p);
             assert_ne!(u, v, "{label}: self-loop at {v:?}");

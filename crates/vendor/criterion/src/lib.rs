@@ -290,6 +290,7 @@ impl BenchmarkGroup<'_> {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark functions in declaration order.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default().configure_from_args();
             $($target(&mut criterion);)+

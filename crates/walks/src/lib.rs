@@ -80,6 +80,7 @@ impl<'g> ParallelWalk<'g> {
         ParallelWalk {
             g,
             positions: starts.to_vec(),
+            // lint: allow(named-rng-streams) -- callers hand in a seed derived via STREAM_WALK (rotor-sweep runners)
             rng: SmallRng::seed_from_u64(seed),
             round: 0,
             visited,

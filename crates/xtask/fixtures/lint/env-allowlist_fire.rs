@@ -1,0 +1,7 @@
+//@ lint-path: crates/sweep/src/fixture.rs
+pub fn threads() -> usize {
+    std::env::var("NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,9 @@
+//@ lint-path: crates/analysis/src/fixture.rs
+pub fn total_rounds(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}
+
+pub fn mean(xs: &[f64]) -> f64 {
+    // lint: allow(float-accumulation) -- serial fold over a slice in index order; the order is schedule-independent
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

@@ -1,0 +1,4 @@
+//@ lint-path: crates/analysis/src/fixture.rs
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

@@ -1,0 +1,6 @@
+//@ lint-path: crates/core/src/lib.rs
+//! A crate root carrying the unsafe gate.
+
+#![forbid(unsafe_code)]
+
+pub fn step() {}

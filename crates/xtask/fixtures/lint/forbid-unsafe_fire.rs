@@ -1,0 +1,4 @@
+//@ lint-path: crates/core/src/lib.rs
+//! A crate root without the unsafe gate.
+
+pub fn step() {}

@@ -1,0 +1,8 @@
+//@ lint-path: crates/sweep/src/fixture.rs
+use rand::{Rng, SmallRng};
+use rotor_core::rng::{stream, STREAM_WALK};
+
+pub fn draw(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(stream(seed, STREAM_WALK));
+    rng.gen_range(0..1024)
+}

@@ -1,0 +1,7 @@
+//@ lint-path: crates/sweep/src/fixture.rs
+use rand::{Rng, SmallRng};
+
+pub fn draw(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBAD);
+    rng.gen_range(0..1024)
+}

@@ -1,0 +1,7 @@
+//@ lint-path: crates/walks/src/fixture.rs
+use rand::SmallRng;
+use rotor_core::rng::{stream, STREAM_WALK};
+
+pub fn walker_rng(cell_seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(stream(cell_seed, STREAM_WALK))
+}

@@ -1,0 +1,6 @@
+//@ lint-path: crates/walks/src/fixture.rs
+use rand::thread_rng;
+
+pub fn shuffle_seed() -> u64 {
+    thread_rng().gen()
+}

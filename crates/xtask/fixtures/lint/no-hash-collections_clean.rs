@@ -1,0 +1,19 @@
+//@ lint-path: crates/core/src/delays.rs
+// The post-fix store: same point-query surface, deterministic order.
+
+use std::collections::BTreeMap;
+
+pub struct DelaySchedule {
+    held: BTreeMap<(u32, u64), u32>,
+}
+
+impl DelaySchedule {
+    pub fn hold(&mut self, v: u32, round: u64, count: u32) -> &mut Self {
+        self.held.insert((v, round), count);
+        self
+    }
+
+    pub fn delay(&self, v: u32, round: u64) -> u32 {
+        self.held.get(&(v, round)).copied().unwrap_or(0)
+    }
+}

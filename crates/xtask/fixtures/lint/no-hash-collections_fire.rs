@@ -1,0 +1,21 @@
+//@ lint-path: crates/core/src/delays.rs
+// The pre-fix PR 2..7 `DelaySchedule` store, verbatim: the live hazard
+// that motivated this lint (held-entry iteration order depended on the
+// hasher, not the schedule).
+
+use std::collections::HashMap;
+
+pub struct DelaySchedule {
+    held: HashMap<(u32, u64), u32>,
+}
+
+impl DelaySchedule {
+    pub fn hold(&mut self, v: u32, round: u64, count: u32) -> &mut Self {
+        self.held.insert((v, round), count);
+        self
+    }
+
+    pub fn delay(&self, v: u32, round: u64) -> u32 {
+        self.held.get(&(v, round)).copied().unwrap_or(0)
+    }
+}

@@ -1,0 +1,7 @@
+//@ lint-path: crates/core/src/fixture.rs
+use std::time::Instant;
+
+pub fn stamp() -> u64 {
+    // lint: allow(wall-clock) -- demonstration of a used waiver: timing meta only
+    Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+//@ lint-path: crates/core/src/fixture.rs
+// lint: allow(wall-clock) -- nothing on this line or the next reads a clock
+pub fn plus_one(x: u64) -> u64 {
+    x + 1
+}

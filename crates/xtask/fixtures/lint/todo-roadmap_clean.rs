@@ -1,0 +1,8 @@
+//@ lint-path: crates/core/src/fixture.rs
+// TODO(ROADMAP: batch-of-cells vectorized engine): fold this loop into the
+// cell-major SoA arena once that lands.
+pub fn step(xs: &mut [u32]) {
+    for x in xs {
+        *x += 1;
+    }
+}

@@ -1,0 +1,7 @@
+//@ lint-path: crates/core/src/fixture.rs
+// TODO: vectorize this loop someday
+pub fn step(xs: &mut [u32]) {
+    for x in xs {
+        *x += 1;
+    }
+}

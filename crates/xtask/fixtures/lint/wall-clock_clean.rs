@@ -1,0 +1,12 @@
+//@ lint-path: crates/sweep/src/fixture.rs
+use std::time::Instant;
+
+pub fn cover_rounds(p: &mut impl FnMut() -> bool) -> (u64, u64) {
+    // lint: allow(wall-clock) -- feeds a declared nondeterministic timing field only
+    let start = Instant::now();
+    let mut rounds = 0;
+    while !p() {
+        rounds += 1;
+    }
+    (rounds, start.elapsed().as_nanos() as u64)
+}

@@ -1,0 +1,12 @@
+//@ lint-path: crates/sweep/src/fixture.rs
+use std::time::Instant;
+
+pub fn cover_rounds(p: &mut impl FnMut() -> bool) -> u64 {
+    let start = Instant::now();
+    let mut rounds = 0;
+    while !p() {
+        rounds += 1;
+    }
+    let _elapsed = start.elapsed();
+    rounds
+}

@@ -16,7 +16,12 @@
 //!   determinism gate);
 //! * [`campaign`] — named, resumable sweep campaigns
 //!   (`xtask campaign family-speedup`, `xtask campaign ring-large-n`,
-//!   `xtask campaign recovery` — the fault-injection recovery curves).
+//!   `xtask campaign recovery` — the fault-injection recovery curves);
+//! * [`lint`] — the determinism-contract static analysis (`xtask lint`),
+//!   the static complement of the `compare`-based drift jobs: a
+//!   dependency-free source scanner enforcing the workspace's
+//!   determinism rules (no hash-order containers in deterministic
+//!   crates, named RNG streams only, waiver-gated wall-clock reads, …).
 //!
 //! ```
 //! use rotor_analysis::report::Json;
@@ -41,4 +46,5 @@
 
 pub mod campaign;
 pub mod compare;
+pub mod lint;
 pub mod validate;

@@ -18,12 +18,18 @@
 //!   [--fresh]` — run a named, resumable sweep campaign (see
 //!   [`xtask::campaign`]): completed units are answered from the state
 //!   file, the assembled report is validated and written to the
-//!   campaign's canonical `BENCH_<bench>.json` (or `--out`).
+//!   campaign's canonical `BENCH_<bench>.json` (or `--out`);
+//! * `lint [--list-rules] [paths...]` — the determinism-contract static
+//!   analysis (see [`xtask::lint`]): walks every non-vendor workspace
+//!   crate (or the given paths), reports findings as `file:line rule
+//!   message` and exits nonzero on any unwaived finding.
+
+#![forbid(unsafe_code)]
 
 use rotor_analysis::report::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xtask::{campaign, compare, validate};
+use xtask::{campaign, compare, lint, validate};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,11 +38,13 @@ fn main() -> ExitCode {
         Some("validate") => run_validate(it.collect()),
         Some("compare") => run_compare(it.collect()),
         Some("campaign") => run_campaign(it.collect()),
+        Some("lint") => run_lint(it.collect()),
         _ => {
             eprintln!(
                 "usage: xtask validate [--expect-threads N] [--max-n N] <files...>\n       \
                  xtask compare <a.json> <b.json>\n       \
-                 xtask campaign <{}> [--smoke] [--threads N] [--out PATH] [--state PATH] [--fresh]",
+                 xtask campaign <{}> [--smoke] [--threads N] [--out PATH] [--state PATH] [--fresh]\n       \
+                 xtask lint [--list-rules] [paths...]",
                 campaign::NAMES.join("|")
             );
             ExitCode::FAILURE
@@ -176,6 +184,43 @@ fn run_campaign(args: Vec<&str>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint(args: Vec<&str>) -> ExitCode {
+    if args.contains(&"--list-rules") {
+        print!("{}", lint::list_rules());
+        return ExitCode::SUCCESS;
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        return usage_error(&format!("lint: unknown flag {flag:?}"));
+    }
+    let root = lint::workspace_root();
+    let result = if args.is_empty() {
+        lint::lint_workspace(&root)
+    } else {
+        lint::lint_paths(&root, &args)
+    };
+    match result {
+        Ok(findings) if findings.is_empty() => {
+            println!("lint: clean (0 findings, {} rules)", lint::RULES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!(
+                "lint: {} finding(s); waive intentional sites with \
+                 `// lint: allow(<rule>) -- <reason>`",
+                findings.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
             ExitCode::FAILURE
         }
     }

@@ -434,7 +434,7 @@ fn check_bench_rules(
                 match num_field(p, "rounds_per_sec") {
                     Ok(r) if r > 0.0 => {}
                     Ok(r) => {
-                        errors.push(format!("{ctx}: point #{pi}: rounds_per_sec = {r} not > 0"))
+                        errors.push(format!("{ctx}: point #{pi}: rounds_per_sec = {r} not > 0"));
                     }
                     Err(e) => errors.push(format!("{ctx}: point #{pi}: {e}")),
                 }
