@@ -13,6 +13,5 @@
 //! sources keep their `rotor_bench::report::…` paths.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub use rotor_analysis::report;

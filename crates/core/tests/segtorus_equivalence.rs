@@ -1,0 +1,294 @@
+//! Property tests pinning [`SegmentedTorus`] bit-identical to the serial
+//! [`Engine`] on the torus.
+//!
+//! The banded backend must be a pure partition parameter: for every
+//! `(rows, cols, k, seed, placement, init, delay-schedule)` and every band
+//! count `P`, the per-round [`EngineState`](rotor_core::EngineState)
+//! sequence, the cover round, the §2.2 domain statistics and the Brent
+//! `(μ, λ)` cycle structure must all equal the serial [`Engine`]'s. These
+//! tests sweep random instances across `P ∈ {1, 2, 3, 4, 7}` — including
+//! the band-boundary edge cases the boundary-row exchange has to get
+//! right: `k > n/P` floods (every boundary row carries traffic each
+//! round), delayed deployments straddling a band boundary, and mid-run
+//! [`Perturb`] disturbances.
+//!
+//! [`Perturb`]: rotor_core::faults::Perturb
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rotor_core::domains::{scan_domain_stats, DomainSampler};
+use rotor_core::faults::Perturb;
+use rotor_core::init::PointerInit;
+use rotor_core::limit::probe_cycle;
+use rotor_core::placement::Placement;
+use rotor_core::{CoverProcess, Engine, NodeId, Observer, SegmentedTorus};
+use rotor_graph::builders;
+
+const PARTITIONS: [usize; 5] = [1, 2, 3, 4, 7];
+
+fn ids(xs: &[u32]) -> Vec<NodeId> {
+    xs.iter().map(|&x| NodeId::new(x)).collect()
+}
+
+/// Drive both engines `rounds` rounds in lockstep, checking every
+/// deterministic field after every round.
+fn assert_lockstep(serial: &mut Engine<'_>, seg: &mut SegmentedTorus, rounds: u64, ctx: &str) {
+    for r in 0..rounds {
+        assert_eq!(
+            serial.state(),
+            seg.state(),
+            "state drift at round {r} ({ctx})"
+        );
+        assert_eq!(
+            serial.cover_round(),
+            seg.cover_round(),
+            "cover-round drift at round {r} ({ctx})"
+        );
+        let want = CoverProcess::domain_stats(serial);
+        let got = CoverProcess::domain_stats(seg);
+        assert_eq!(want, got, "domain-stats drift at round {r} ({ctx})");
+        assert_eq!(
+            got,
+            scan_domain_stats(seg),
+            "trait domain stats disagree with the O(n) scan at round {r} ({ctx})"
+        );
+        serial.step();
+        seg.step();
+    }
+    assert_eq!(
+        serial.state(),
+        seg.state(),
+        "state drift after {rounds} rounds ({ctx})"
+    );
+}
+
+fn random_instance(rng: &mut SmallRng) -> (usize, usize, Vec<NodeId>, PointerInit) {
+    let rows = rng.gen_range(3..9usize);
+    let cols = rng.gen_range(3..9usize);
+    let n = rows * cols;
+    let k = rng.gen_range(1..13usize);
+    let placement = match rng.gen_range(0..4u32) {
+        0 => Placement::AllOnOne(rng.gen_range(0..n as u32)),
+        1 => Placement::EquallySpaced {
+            offset: rng.gen_range(0..n as u32),
+        },
+        2 => Placement::Random(rng.next_u64()),
+        _ => Placement::Custom((0..k).map(|_| rng.gen_range(0..n as u32)).collect()),
+    };
+    let agents = ids(&placement.positions(n, k));
+    let init = match rng.gen_range(0..4u32) {
+        0 => PointerInit::TowardNearestAgent,
+        1 => PointerInit::AwayFromNearestAgent,
+        2 => PointerInit::Random(rng.next_u64()),
+        _ => PointerInit::Uniform(rng.gen_range(0..4usize)),
+    };
+    (rows, cols, agents, init)
+}
+
+/// Tentpole pin: random `(rows, cols, k, placement, init)` instances,
+/// every partition count, every deterministic field, every round.
+#[test]
+fn segmented_torus_matches_engine_per_round() {
+    let mut rng = SmallRng::seed_from_u64(0x7021);
+    for case in 0..40 {
+        let (rows, cols, agents, init) = random_instance(&mut rng);
+        let g = builders::torus(rows, cols);
+        let n = rows * cols;
+        for p in PARTITIONS {
+            let mut serial = Engine::new(&g, &agents, &init);
+            let mut seg = SegmentedTorus::new(rows, cols, &agents, &init, p);
+            let ctx = format!("case {case}: {rows}x{cols} k={} p={p}", agents.len());
+            assert_lockstep(&mut serial, &mut seg, 2 * n as u64 + 32, &ctx);
+        }
+    }
+}
+
+/// Boundary edge case: `k > n/P`, so at least one band holds more agents
+/// than nodes and both boundary rows carry traffic every round.
+#[test]
+fn agents_outnumbering_a_band_still_match() {
+    let cases: [(usize, usize, usize); 4] = [(4, 3, 4), (3, 3, 3), (5, 4, 7), (3, 6, 2)];
+    for (rows, cols, p) in cases {
+        let n = rows * cols;
+        let k = 3 * n; // k > n ≥ n/P for every band
+        for anchor in [0u32, (n / 2) as u32, (n - 1) as u32] {
+            let agents = ids(&Placement::AllOnOne(anchor).positions(n, k));
+            let g = builders::torus(rows, cols);
+            let mut serial = Engine::new(&g, &agents, &PointerInit::TowardNearestAgent);
+            let mut seg =
+                SegmentedTorus::new(rows, cols, &agents, &PointerInit::TowardNearestAgent, p);
+            let ctx = format!("{rows}x{cols} k={k} p={p} anchor={anchor}");
+            assert_lockstep(&mut serial, &mut seg, 4 * n as u64, &ctx);
+        }
+    }
+}
+
+/// Delayed deployments (§2.1) straddling band boundaries: the same pure
+/// `D(v, c)` schedule must produce identical trajectories, including when
+/// the held agents sit exactly on the first and last row of a band.
+#[test]
+fn delayed_deployment_straddling_boundaries_matches() {
+    let mut rng = SmallRng::seed_from_u64(0xD314);
+    // Deterministic, value-dependent delay: holds back a (v, c)-dependent
+    // share, frequently at boundary rows of every partition tested.
+    let delay = |v: u32, c: u32| (v.wrapping_mul(0x9E37_79B9) >> 27).wrapping_add(c) % (c + 1);
+    for case in 0..20 {
+        let (rows, cols, agents, init) = random_instance(&mut rng);
+        let g = builders::torus(rows, cols);
+        let n = rows * cols;
+        for p in PARTITIONS {
+            let mut serial = Engine::new(&g, &agents, &init);
+            let mut seg = SegmentedTorus::new(rows, cols, &agents, &init, p);
+            let ctx = format!("delayed case {case}: {rows}x{cols} p={p}");
+            for r in 0..2 * n as u64 {
+                assert_eq!(
+                    serial.state(),
+                    seg.state(),
+                    "state drift at round {r} ({ctx})"
+                );
+                assert_eq!(
+                    serial.cover_round(),
+                    seg.cover_round(),
+                    "cover drift ({ctx})"
+                );
+                assert_eq!(
+                    CoverProcess::domain_stats(&serial),
+                    CoverProcess::domain_stats(&seg),
+                    "domain drift at round {r} ({ctx})"
+                );
+                serial.step_delayed(delay);
+                seg.step_delayed(delay);
+            }
+            assert_eq!(serial.state(), seg.state(), "final state ({ctx})");
+        }
+    }
+}
+
+/// Mid-run [`Perturb`] disturbances — pointer corruption, agent crashes
+/// and a cover-epoch reset — must consume the same deterministic draw
+/// sequences and leave both engines in the same configuration.
+#[test]
+fn perturbations_mid_run_match() {
+    let mut rng = SmallRng::seed_from_u64(0xFA70);
+    for case in 0..20 {
+        let (rows, cols, agents, init) = random_instance(&mut rng);
+        let g = builders::torus(rows, cols);
+        let n = rows * cols;
+        for p in PARTITIONS {
+            let mut serial = Engine::new(&g, &agents, &init);
+            let mut seg = SegmentedTorus::new(rows, cols, &agents, &init, p);
+            let ctx = format!("perturb case {case}: {rows}x{cols} p={p}");
+            assert_lockstep(&mut serial, &mut seg, n as u64 / 2, &ctx);
+
+            let seed = rng.next_u64();
+            let flips = rng.gen_range(1..8u32);
+            assert_eq!(
+                Perturb::corrupt_pointers(&mut serial, seed, flips),
+                Perturb::corrupt_pointers(&mut seg, seed, flips),
+                "corrupt_pointers draw mismatch ({ctx})"
+            );
+            assert_lockstep(&mut serial, &mut seg, n as u64 / 2, &ctx);
+
+            let seed = rng.next_u64();
+            let kills = rng.gen_range(1..6u32);
+            assert_eq!(
+                Perturb::remove_agents(&mut serial, seed, kills),
+                Perturb::remove_agents(&mut seg, seed, kills),
+                "remove_agents draw mismatch ({ctx})"
+            );
+            assert_lockstep(&mut serial, &mut seg, n as u64 / 2, &ctx);
+
+            Perturb::reset_cover_epoch(&mut serial);
+            Perturb::reset_cover_epoch(&mut seg);
+            assert_eq!(
+                serial.cover_round(),
+                seg.cover_round(),
+                "epoch reset ({ctx})"
+            );
+            assert_lockstep(&mut serial, &mut seg, n as u64, &ctx);
+        }
+    }
+}
+
+/// §4 limit behaviour: Brent `(μ, λ)` over the configuration sequence is
+/// identical on both backends for every partition count.
+#[test]
+fn brent_cycle_structure_matches() {
+    let mut rng = SmallRng::seed_from_u64(0xB370);
+    for _case in 0..8 {
+        let rows = rng.gen_range(3..5usize);
+        let cols = rng.gen_range(3..5usize);
+        let n = rows * cols;
+        let k = rng.gen_range(1..4usize);
+        let agents: Vec<NodeId> = (0..k)
+            .map(|_| NodeId::new(rng.gen_range(0..n as u32)))
+            .collect();
+        let g = builders::torus(rows, cols);
+        let serial = probe_cycle(
+            || Engine::new(&g, &agents, &PointerInit::TowardNearestAgent),
+            500_000,
+        );
+        for p in PARTITIONS {
+            let seg = probe_cycle(
+                || SegmentedTorus::new(rows, cols, &agents, &PointerInit::TowardNearestAgent, p),
+                500_000,
+            );
+            assert_eq!(serial, seg, "(μ, λ) drift: {rows}x{cols} k={k} p={p}");
+        }
+    }
+}
+
+/// Cover times stay pinned for partitions that do not divide `rows`,
+/// including `P` close to (and beyond) the row count.
+#[test]
+fn awkward_partition_counts_match_cover_times() {
+    for rows in [5usize, 7, 13] {
+        let cols = 6;
+        let n = rows * cols;
+        let agents = ids(&Placement::AllOnOne(0).positions(n, 4));
+        let g = builders::torus(rows, cols);
+        let mut serial = Engine::new(&g, &agents, &PointerInit::TowardNearestAgent);
+        let want = serial.run_until_covered(1 << 20).expect("serial covers");
+        for p in [2usize, rows - 1, rows, rows + 3] {
+            let mut seg =
+                SegmentedTorus::new(rows, cols, &agents, &PointerInit::TowardNearestAgent, p);
+            let got = seg.run_until_covered(1 << 20).expect("banded covers");
+            assert_eq!(want, got, "cover time drift: {rows}x{cols} p={p}");
+        }
+    }
+}
+
+/// Cross-backend §2.2 sampling on a delayed 16×16 torus scenario: a
+/// [`DomainSampler`] attached to each backend must record identical
+/// domain/border statistics at every sampled round.
+#[test]
+fn domain_sampler_agrees_on_a_delayed_16x16_scenario() {
+    let (rows, cols) = (16, 16);
+    let n = rows * cols;
+    let agents = ids(&Placement::EquallySpaced { offset: 3 }.positions(n, 5));
+    let g = builders::torus(rows, cols);
+    let init = PointerInit::Random(0x16C5);
+    let delay = |v: u32, c: u32| (v.wrapping_mul(0x9E37_79B9) >> 28) % (c + 1);
+    let mut serial = Engine::new(&g, &agents, &init);
+    let mut seg = SegmentedTorus::new(rows, cols, &agents, &init, 4);
+    let mut serial_samples = DomainSampler::every(8);
+    let mut seg_samples = DomainSampler::every(8);
+    serial_samples.observe(&serial);
+    seg_samples.observe(&seg);
+    for _ in 0..600 {
+        serial.step_delayed(delay);
+        seg.step_delayed(delay);
+        serial_samples.observe(&serial);
+        seg_samples.observe(&seg);
+    }
+    assert!(
+        serial_samples.samples.len() > 60,
+        "the sampler actually sampled"
+    );
+    assert_eq!(
+        serial_samples.samples, seg_samples.samples,
+        "sampled §2.2 stats must agree at every sampled round"
+    );
+}

@@ -63,7 +63,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod driver;
 pub mod grid;

@@ -27,7 +27,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

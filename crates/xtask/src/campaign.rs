@@ -11,7 +11,7 @@
 //! campaign's base seed, so a resumed unit is bit-identical to an
 //! uninterrupted one (pinned by tests).
 //!
-//! Three campaigns are defined:
+//! Four campaigns are defined:
 //!
 //! * [`FAMILY_SPEEDUP`] — the paper's headline comparison *off* the ring:
 //!   every shape-free graph family (ring, path, complete, star, binary
@@ -39,6 +39,12 @@
 //!   [`run_sharded_checked`] driver, so one poisoned cell surfaces in the
 //!   report meta instead of killing the pass. Writes
 //!   `BENCH_recovery.json`.
+//! * [`TORUS_SEG`] — the segmented-torus canary: worst-case and seeded
+//!   random cover curves per torus shape, measured on the row-banded
+//!   [`ProcessKind::TorusSegmented`] backend (band count from
+//!   `ROTOR_SEGMENTS`, bit-identical to the serial engine at every
+//!   setting), so the determinism-drift job has a torus report to diff
+//!   across partition counts. Writes `BENCH_torus_seg.json`.
 //!
 //! The `general_graphs` and `recovery` bench targets are thin smoke-mode
 //! wrappers over [`family_speedup_report`] / [`recovery_report`], so the
@@ -67,8 +73,10 @@ pub const FAMILY_SPEEDUP: &str = "family-speedup";
 pub const RING_LARGE_N: &str = "ring-large-n";
 /// The fault-injection recovery campaign (writes `BENCH_recovery.json`).
 pub const RECOVERY: &str = "recovery";
+/// The segmented-torus backend canary (writes `BENCH_torus_seg.json`).
+pub const TORUS_SEG: &str = "torus-seg";
 /// Every defined campaign name, for CLI help and dispatch.
-pub const NAMES: [&str; 3] = [FAMILY_SPEEDUP, RING_LARGE_N, RECOVERY];
+pub const NAMES: [&str; 4] = [FAMILY_SPEEDUP, RING_LARGE_N, RECOVERY, TORUS_SEG];
 
 /// Schema tag of the campaign state file.
 pub const STATE_SCHEMA: &str = "rotor-campaign-state/1";
@@ -80,6 +88,7 @@ pub fn bench_name(campaign: &str) -> Option<&'static str> {
         FAMILY_SPEEDUP => Some("general_graphs"),
         RING_LARGE_N => Some("ring_large_n"),
         RECOVERY => Some("recovery"),
+        TORUS_SEG => Some("torus_seg"),
         _ => None,
     }
 }
@@ -1157,6 +1166,137 @@ pub fn recovery_report(
     Ok(report_json("recovery", threads, meta, curves))
 }
 
+// ---------------------------------------------------------------------------
+// torus-seg
+// ---------------------------------------------------------------------------
+
+/// Torus shapes the segmented-torus campaign sweeps, per scale; the
+/// non-square shapes keep `rows mod P ≠ 0` partitions in the canary.
+fn torus_shapes(scale: Scale) -> &'static [(usize, usize)] {
+    match scale {
+        Scale::Full => &[(64, 64), (96, 48)],
+        Scale::Smoke => &[(8, 8), (12, 8)],
+        Scale::Test => &[(4, 4), (6, 4)],
+    }
+}
+
+fn torus_seg_seed_count(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 3,
+        Scale::Smoke => 2,
+        Scale::Test => 1,
+    }
+}
+
+const TORUS_SEG_BASE_SEED: u64 = 0x70B5;
+
+/// Runs one shape unit of the segmented-torus campaign: the
+/// deterministic worst-case column (all agents on one node, pointers
+/// toward them) and a seeded random column, both measured on the
+/// row-banded backend over the shared `k` ladder.
+fn run_torus_seg_unit(rows: usize, cols: usize, scale: Scale, threads: usize) -> Json {
+    let n = rows * cols;
+    let ks = ks_for(n);
+    let mut curves = Vec::new();
+    let columns = [
+        (
+            "worst",
+            PlacementSpec::AllOnOne,
+            InitSpec::TowardNearestAgent,
+            false,
+        ),
+        ("random", PlacementSpec::Random, InitSpec::Random, true),
+    ];
+    for (name, placement, init, seeded) in columns {
+        let seed_count = if seeded {
+            torus_seg_seed_count(scale)
+        } else {
+            1
+        };
+        let grid = ScenarioGrid {
+            families: vec![GraphFamily::Torus { rows, cols }],
+            ns: vec![n],
+            ks: ks.clone(),
+            seed_count,
+            base_seed: TORUS_SEG_BASE_SEED,
+            placement,
+            init,
+        };
+        let scenarios = grid.scenarios();
+        // The row-banded backend is bit-identical to the serial engine
+        // at every ROTOR_SEGMENTS (pinned by the equivalence property
+        // tests), so the drift job can diff this report across
+        // partition counts — the torus analogue of the ring canary.
+        let samples: Vec<CoverSample> = run_sharded(&scenarios, threads, |_, sc| {
+            run_scenario(sc, ProcessKind::TorusSegmented, u64::MAX)
+        });
+        let mut curve = Curve::new(format!("{name}/{rows}x{cols}"))
+            .meta("process", Json::Str("rotor".into()))
+            .meta("rows", Json::Int(rows as u64))
+            .meta("cols", Json::Int(cols as u64))
+            .meta("n", Json::Int(n as u64))
+            .meta("seed_count", Json::Int(seed_count as u64))
+            .meta("backend", Json::Str(samples[0].backend.into()));
+        for (ki, &k) in ks.iter().enumerate() {
+            let range = grid.point_range(0, 0, ki);
+            let mut covers: Vec<u64> = samples[range]
+                .iter()
+                .map(|s| s.cover.expect("rotor-router always covers"))
+                .collect();
+            let m = median(&mut covers).expect("non-empty point");
+            if seeded {
+                curve.points.push(Point::new(
+                    k as u64,
+                    [
+                        ("covered", Json::Int(covers.len() as u64)),
+                        ("median_cover", Json::Int(m)),
+                    ],
+                ));
+            } else {
+                curve
+                    .points
+                    .push(Point::new(k as u64, [("cover", Json::Int(m))]));
+            }
+        }
+        curves.push(curve.to_json());
+    }
+    Json::obj([("curves", Json::Arr(curves))])
+}
+
+/// Builds the `torus-seg` report (bench `torus_seg`): per-shape
+/// worst-case and random cover curves, every cell measured on
+/// [`ProcessKind::TorusSegmented`].
+///
+/// # Errors
+///
+/// Fails when the state cannot be persisted or holds malformed units.
+pub fn torus_seg_report(
+    scale: Scale,
+    threads: usize,
+    state: &mut CampaignState,
+) -> Result<Json, String> {
+    let shapes = torus_shapes(scale);
+    let mut curves: Vec<Json> = Vec::new();
+    for &(rows, cols) in shapes {
+        let key = format!("{rows}x{cols}");
+        let unit = state.unit(&key, || run_torus_seg_unit(rows, cols, scale, threads))?;
+        curves.extend(unit_curves(&unit)?);
+    }
+    let meta = Json::obj([
+        (
+            "shapes",
+            Json::Arr(
+                shapes
+                    .iter()
+                    .map(|&(r, c)| Json::Str(format!("{r}x{c}")))
+                    .collect(),
+            ),
+        ),
+        ("seed_count", Json::Int(torus_seg_seed_count(scale) as u64)),
+    ]);
+    Ok(report_json("torus_seg", threads, meta, curves))
+}
+
 fn report_json(bench: &str, threads: usize, meta: Json, curves: Vec<Json>) -> Json {
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
@@ -1182,6 +1322,7 @@ pub fn build_report(
         FAMILY_SPEEDUP => family_speedup_report(scale, threads, state),
         RING_LARGE_N => ring_large_n_report(scale, threads, state),
         RECOVERY => recovery_report(scale, threads, state),
+        TORUS_SEG => torus_seg_report(scale, threads, state),
         other => Err(format!(
             "unknown campaign {other:?} (defined: {})",
             NAMES.join(", ")
@@ -1304,6 +1445,24 @@ mod tests {
             } else {
                 assert_eq!(backend, "rotor_general");
             }
+        }
+    }
+
+    #[test]
+    fn torus_seg_test_scale_passes_its_own_validator() {
+        let mut state = CampaignState::ephemeral(TORUS_SEG, Scale::Test);
+        let report = torus_seg_report(Scale::Test, 2, &mut state).expect("report builds");
+        let errors = validate::validate(&report, &validate::Options::default());
+        assert_eq!(errors, Vec::<String>::new());
+        let curves = report.get("curves").and_then(Json::as_arr).unwrap();
+        // worst + random columns at two shapes
+        assert_eq!(curves.len(), 2 * 2);
+        for curve in curves {
+            let backend = curve
+                .get("meta")
+                .and_then(|m| m.get("backend"))
+                .and_then(Json::as_str);
+            assert_eq!(backend, Some("rotor_torus_seg"));
         }
     }
 
