@@ -1,0 +1,270 @@
+//! Property tests pinning [`BatchRing`] lanes bit-identical to
+//! [`RingRouter`].
+//!
+//! The batch width must be a pure throughput parameter: for every lane
+//! `(n, k, seed, placement, init)` at every width `W`, the per-round
+//! [`RingState`] sequence, the cover round, the §2.2 domain statistics and
+//! the Brent `(μ, λ)` cycle structure of the single-lane view must all
+//! equal the serial [`RingRouter`]'s. These tests sweep random mixed-shape
+//! batches across `W ∈ {1, 2, 3, 7, 64}` — including the isolation edge
+//! case the arena layout has to get right: one lane covering mid-batch
+//! (and freezing) must not perturb any neighbouring lane.
+//!
+//! [`RingState`]: rotor_core::RingState
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rotor_core::domains::{scan_domain_stats, DomainSampler};
+use rotor_core::init::PointerInit;
+use rotor_core::limit::probe_cycle;
+use rotor_core::placement::Placement;
+use rotor_core::{BatchRing, CoverProcess, LaneSpec, RingRouter};
+
+const WIDTHS: [usize; 5] = [1, 2, 3, 7, 64];
+
+/// One random lane shape on an `n`-node ring: agent count, placement and
+/// pointer init all drawn independently, so a batch mixes `k`s and
+/// configurations freely.
+fn random_lane(rng: &mut SmallRng, n: usize) -> (Vec<u32>, Vec<u8>) {
+    let k = rng.gen_range(1..13usize);
+    let placement = match rng.gen_range(0..4u32) {
+        0 => Placement::AllOnOne(rng.gen_range(0..n as u32)),
+        1 => Placement::EquallySpaced {
+            offset: rng.gen_range(0..n as u32),
+        },
+        2 => Placement::Random(rng.next_u64()),
+        _ => Placement::Custom((0..k).map(|_| rng.gen_range(0..n as u32)).collect()),
+    };
+    let starts = placement.positions(n, k);
+    let dirs = match rng.gen_range(0..4u32) {
+        0 => PointerInit::TowardNearestAgent.ring_directions(n, &starts),
+        1 => PointerInit::AwayFromNearestAgent.ring_directions(n, &starts),
+        2 => PointerInit::Random(rng.next_u64()).ring_directions(n, &starts),
+        _ => PointerInit::Uniform(rng.gen_range(0..2)).ring_directions(n, &starts),
+    };
+    (starts, dirs)
+}
+
+/// Drive a batch and its per-lane serial references `rounds` rounds in
+/// lockstep, checking every deterministic per-lane field after every
+/// round. The serial references freeze at their own cover round, exactly
+/// like batch lanes do under [`BatchRing::step`].
+fn assert_batch_lockstep(n: usize, lanes: &[(Vec<u32>, Vec<u8>)], rounds: u64, ctx: &str) {
+    let specs: Vec<LaneSpec> = lanes
+        .iter()
+        .map(|(starts, dirs)| LaneSpec { starts, dirs })
+        .collect();
+    let mut batch = BatchRing::new(n, &specs);
+    let mut serials: Vec<RingRouter> = lanes
+        .iter()
+        .map(|(starts, dirs)| RingRouter::new(n, starts, dirs))
+        .collect();
+    for r in 0..=rounds {
+        for (l, serial) in serials.iter().enumerate() {
+            assert_eq!(
+                serial.state(),
+                batch.lane_state(l),
+                "state drift at round {r}, lane {l} ({ctx})"
+            );
+            assert_eq!(
+                serial.cover_round(),
+                batch.lane_cover_round(l),
+                "cover-round drift at round {r}, lane {l} ({ctx})"
+            );
+            let want = CoverProcess::domain_stats(serial);
+            assert_eq!(
+                want,
+                batch.lane_domain_stats(l),
+                "domain-stats drift at round {r}, lane {l} ({ctx})"
+            );
+            assert_eq!(
+                want,
+                scan_domain_stats(serial),
+                "serial incremental stats disagree with the scan ({ctx})"
+            );
+            assert_eq!(
+                CoverProcess::visited_count(serial),
+                batch.lane_visited_count(l),
+                "visited-count drift at round {r}, lane {l} ({ctx})"
+            );
+        }
+        batch.step();
+        for serial in &mut serials {
+            if serial.cover_round().is_none() {
+                serial.step();
+            }
+        }
+    }
+}
+
+/// Tentpole pin: random mixed-shape batches, every width, every per-lane
+/// deterministic field, every round.
+#[test]
+fn batched_lanes_match_ring_router_per_round() {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C);
+    for (case, &w) in WIDTHS.iter().enumerate() {
+        let n = rng.gen_range(3..48usize);
+        let lanes: Vec<_> = (0..w).map(|_| random_lane(&mut rng, n)).collect();
+        let ctx = format!("case {case}: n={n} w={w}");
+        assert_batch_lockstep(n, &lanes, 4 * n as u64 + 32, &ctx);
+    }
+    // A second sweep with fresh draws per width, small rings (dense wrap
+    // traffic) to stress the per-lane merge isolation.
+    for &w in &WIDTHS {
+        let n = rng.gen_range(3..8usize);
+        let lanes: Vec<_> = (0..w).map(|_| random_lane(&mut rng, n)).collect();
+        let ctx = format!("small-n: n={n} w={w}");
+        assert_batch_lockstep(n, &lanes, 6 * n as u64, &ctx);
+    }
+}
+
+/// Mid-batch cover isolation: lanes engineered to cover at very different
+/// rounds. A lane that finishes early freezes at its cover configuration
+/// and must not perturb the still-running lanes on either side of it in
+/// the arena.
+#[test]
+fn mid_batch_cover_leaves_neighbours_untouched() {
+    let n = 40usize;
+    // fast / slow / fast / slow …: dense equally-spaced lanes cover in a
+    // handful of rounds, single-agent all-on-one lanes take Θ(n²).
+    let lanes: Vec<(Vec<u32>, Vec<u8>)> = (0..6)
+        .map(|l| {
+            let starts = if l % 2 == 0 {
+                Placement::EquallySpaced { offset: l as u32 }.positions(n, 10)
+            } else {
+                Placement::AllOnOne(l as u32).positions(n, 1)
+            };
+            let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+            (starts, dirs)
+        })
+        .collect();
+    assert_batch_lockstep(n, &lanes, 4 * (n as u64) * (n as u64), "mid-batch cover");
+
+    // And the frozen configuration really is frozen: after everything has
+    // covered, further steps change nothing.
+    let specs: Vec<LaneSpec> = lanes
+        .iter()
+        .map(|(starts, dirs)| LaneSpec { starts, dirs })
+        .collect();
+    let mut batch = BatchRing::new(n, &specs);
+    batch.run_until_covered(u64::MAX);
+    let frozen: Vec<_> = (0..batch.width()).map(|l| batch.lane_state(l)).collect();
+    batch.step();
+    for (l, state) in frozen.iter().enumerate() {
+        assert_eq!(state, &batch.lane_state(l), "covered lane {l} moved");
+        assert_eq!(
+            batch.lane_round(l),
+            batch.lane_cover_round(l).expect("covered"),
+            "frozen lane round must equal its cover round"
+        );
+    }
+}
+
+/// Budget semantics match the serial driver: a lane that cannot cover
+/// within the budget stops at exactly `max_rounds` rounds, like
+/// [`CoverProcess::run_until_covered`] does serially.
+#[test]
+fn budget_exhaustion_matches_serial() {
+    let n = 64usize;
+    let starts = Placement::AllOnOne(0).positions(n, 1);
+    let dirs = PointerInit::AwayFromNearestAgent.ring_directions(n, &starts);
+    let budget = 50u64;
+    let mut serial = RingRouter::new(n, &starts, &dirs);
+    assert_eq!(serial.run_until_covered(budget), None, "must time out");
+    let mut batch = BatchRing::single(n, &starts, &dirs);
+    batch.run_until_covered(budget);
+    assert_eq!(batch.lane_cover_round(0), None);
+    assert_eq!(batch.lane_round(0), serial.round());
+    assert_eq!(batch.lane_state(0), serial.state());
+}
+
+/// Satellite-3 pin, sampling half: the batch's native per-lane §2.2
+/// sampling records exactly the rounds a serial [`DomainSampler`] attached
+/// through `run_observed` records, sample for sample, at several strides —
+/// including lanes that cover mid-batch.
+#[test]
+fn sampled_run_matches_serial_domain_sampler() {
+    let mut rng = SmallRng::seed_from_u64(0x5A3D);
+    for &stride in &[1u64, 3, 8] {
+        for &w in &[2usize, 7] {
+            let n = rng.gen_range(8..40usize);
+            let lanes: Vec<_> = (0..w).map(|_| random_lane(&mut rng, n)).collect();
+            let specs: Vec<LaneSpec> = lanes
+                .iter()
+                .map(|(starts, dirs)| LaneSpec { starts, dirs })
+                .collect();
+            let budget = 4 * (n as u64) * (n as u64);
+            let mut batch = BatchRing::new(n, &specs);
+            let batch_samples = batch.run_until_covered_sampled(budget, stride);
+            for (l, (starts, dirs)) in lanes.iter().enumerate() {
+                let mut serial = RingRouter::new(n, starts, dirs);
+                let mut sampler = DomainSampler::every(stride);
+                let cover = serial.run_observed(budget, &mut sampler);
+                assert_eq!(
+                    cover,
+                    batch.lane_cover_round(l),
+                    "cover drift: n={n} w={w} stride={stride} lane={l}"
+                );
+                assert_eq!(
+                    sampler.samples, batch_samples[l],
+                    "sample drift: n={n} w={w} stride={stride} lane={l}"
+                );
+            }
+        }
+    }
+}
+
+/// Satellite-3 pin, probe half: Brent `(μ, λ)` through the single-lane
+/// [`CoverProcess`] view (the `run_probed` fallback-to-serial surface)
+/// equals the serial engine's cycle structure.
+#[test]
+fn single_lane_probe_cycle_matches_serial() {
+    let mut rng = SmallRng::seed_from_u64(0xC1C1);
+    for _case in 0..10 {
+        let n = rng.gen_range(3..16usize);
+        let k = rng.gen_range(1..4usize);
+        let starts: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n as u32)).collect();
+        let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+        let serial = probe_cycle(|| RingRouter::new(n, &starts, &dirs), 200_000);
+        let single = probe_cycle(|| BatchRing::single(n, &starts, &dirs), 200_000);
+        assert_eq!(serial, single, "(μ, λ) drift: n={n} k={k}");
+    }
+}
+
+/// The single-lane view's observed run (the exact path batched sweeps use
+/// for observer-attached cells) matches the serial engine sample for
+/// sample.
+#[test]
+fn single_lane_observed_run_matches_serial() {
+    let n = 48usize;
+    let starts = Placement::EquallySpaced { offset: 3 }.positions(n, 4);
+    let dirs = PointerInit::TowardNearestAgent.ring_directions(n, &starts);
+    let budget = 4 * (n as u64) * (n as u64);
+
+    let mut serial = RingRouter::new(n, &starts, &dirs);
+    let mut serial_sampler = DomainSampler::every(2);
+    let want = serial.run_observed(budget, &mut serial_sampler);
+
+    let mut single = BatchRing::single(n, &starts, &dirs);
+    let mut single_sampler = DomainSampler::every(2);
+    let got = single.run_observed(budget, &mut single_sampler);
+
+    assert_eq!(want, got, "cover drift through the observed run");
+    assert_eq!(serial_sampler.samples, single_sampler.samples);
+    assert_eq!(CoverProcess::kind_name(&single), "rotor_ring_batch");
+}
+
+/// The `ROTOR_BATCH` parser falls back to one cell per batch on anything
+/// unusable, mirroring the `ROTOR_SEGMENTS` contract.
+#[test]
+fn batch_width_parsing_defaults_to_serial() {
+    use rotor_core::batchring::batch_from;
+    assert_eq!(batch_from(None), 1);
+    assert_eq!(batch_from(Some("")), 1);
+    assert_eq!(batch_from(Some("0")), 1);
+    assert_eq!(batch_from(Some("banana")), 1);
+    assert_eq!(batch_from(Some(" 8 ")), 8);
+    assert_eq!(batch_from(Some("64")), 64);
+}

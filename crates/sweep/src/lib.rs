@@ -28,6 +28,11 @@
 //!   `(GraphFamily, ProcessKind)` with the
 //!   [`RingRouter`](rotor_core::RingRouter) fast path preserved on the
 //!   ring family.
+//! * [`batch`] — the batched throughput path:
+//!   [`run_scenarios_batched`] cuts a scenario list into a combined queue
+//!   of [`BatchRing`](rotor_core::BatchRing) lockstep batches (contiguous
+//!   same-shape ring cells, `ROTOR_BATCH` lanes at a time) and serial
+//!   stragglers, bit-identical to the per-cell path at every width.
 //! * [`recovery`] — fault-injection recovery measurement: a
 //!   [`RecoveryGrid`] crosses the scenario lattice with a disturbance axis
 //!   ([`FaultSpec`]), and [`run_scenario_recovery`] measures re-cover and
@@ -64,13 +69,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod driver;
 pub mod grid;
 pub mod recovery;
 pub mod runners;
 pub mod scenario;
 
-pub use driver::{run_sharded, run_sharded_checked, split_budget, thread_count, thread_plan};
+pub use batch::{run_scenarios_batched, BatchParams, ObservedCover};
+pub use driver::{
+    run_sharded, run_sharded_checked, split_budget, split_budget_for, thread_count, thread_plan,
+    thread_plan_for,
+};
 pub use grid::{Cell, InitSpec, PlacementSpec, SweepGrid};
 pub use recovery::{
     run_recovery_grid, run_scenario_recovery, FaultSpec, RecoveryGrid, RecoveryOptions,

@@ -13,7 +13,9 @@ use crate::grid::Cell;
 use crate::scenario::Scenario;
 use rotor_core::limit::{self, CycleInfo};
 use rotor_core::rng::{stream, STREAM_WALK};
-use rotor_core::{CoverProcess, Engine, Observer, RingRouter, SegmentedRing, SegmentedTorus};
+use rotor_core::{
+    BatchRing, CoverProcess, Engine, Observer, RingRouter, SegmentedRing, SegmentedTorus,
+};
 use rotor_graph::{NodeId, PortGraph};
 use rotor_walks::ParallelWalk;
 use std::time::Instant;
@@ -42,6 +44,15 @@ pub enum ProcessKind {
     /// [`thread_plan`](crate::driver::thread_plan) budget like the ring
     /// backend. Only valid on the torus family.
     TorusSegmented,
+    /// The batch-of-cells ring backend ([`BatchRing`]): independent
+    /// same-shape cells advanced in lockstep in one cell-major arena by
+    /// [`run_scenarios_batched`](crate::batch::run_scenarios_batched),
+    /// bit-identical to [`RingRouter`] per lane at every batch width
+    /// (`ROTOR_BATCH` selects the width). Through *this* per-cell runner
+    /// the kind resolves to a single-lane batch — the fallback-to-serial
+    /// path observer- and probe-attached cells always take. Only valid on
+    /// the ring.
+    RotorBatched,
     /// The general-graph rotor-router ([`Engine`]) — on the ring, used to
     /// cross-check the specialised engine at sweep scale.
     RotorGeneral,
@@ -57,6 +68,7 @@ impl ProcessKind {
             ProcessKind::RotorRing => "rotor_ring",
             ProcessKind::RotorSegmented => "rotor_seg",
             ProcessKind::TorusSegmented => "rotor_torus_seg",
+            ProcessKind::RotorBatched => "rotor_batch",
             ProcessKind::RotorGeneral => "rotor_general",
             ProcessKind::RandomWalk => "walk",
         }
@@ -170,6 +182,7 @@ where
     O: Observer<RingRouter>
         + Observer<SegmentedRing>
         + Observer<SegmentedTorus>
+        + Observer<BatchRing>
         + for<'g> Observer<Engine<'g>>
         + for<'g> Observer<ParallelWalk<'g>>,
 {
@@ -188,7 +201,18 @@ where
             let mut p = SegmentedRing::with_workers(sc.n, &positions, &dirs, segments, workers);
             finish_observed(sc, &mut p, max_rounds, observer)
         }
-        ProcessKind::RotorRing | ProcessKind::RotorSegmented => {
+        ProcessKind::RotorBatched if on_ring => {
+            // The per-cell surface always runs a *single-lane* batch —
+            // observers and probes are single-process instruments, so an
+            // observed batched cell is by construction the serial path
+            // (the fallback-to-serial contract pinned by the
+            // observer-under-batching tests). Whole-grid batching lives in
+            // [`run_scenarios_batched`](crate::batch::run_scenarios_batched).
+            let dirs = sc.ring_directions(&positions);
+            let mut p = BatchRing::single(sc.n, &positions, &dirs);
+            finish_observed(sc, &mut p, max_rounds, observer)
+        }
+        ProcessKind::RotorRing | ProcessKind::RotorSegmented | ProcessKind::RotorBatched => {
             panic!(
                 "{kind:?} requires the Ring family, got {}",
                 sc.family.label()
@@ -644,6 +668,87 @@ mod tests {
                 assert_eq!(s.backend, "rotor_torus_seg");
             }
         }
+    }
+
+    #[test]
+    fn batched_kind_matches_every_ring_backend_cell_by_cell() {
+        // Satellite pin: one ScenarioGrid through RotorGeneral,
+        // RotorSegmented and RotorBatched must produce field-identical
+        // reports under `xtask compare` semantics — every CoverSample
+        // field except `nanos` (a declared NONDETERMINISTIC_FIELDS timing
+        // column) and `backend` (compare-stable *within* a backend; across
+        // backends it differs by construction and is asserted exactly).
+        let scenarios = ScenarioGrid {
+            families: vec![GraphFamily::Ring],
+            ns: vec![32, 61],
+            ks: vec![1, 2, 5],
+            seed_count: 2,
+            base_seed: 11,
+            placement: PlacementSpec::Random,
+            init: InitSpec::Random,
+        }
+        .scenarios();
+        let run = |kind| -> Vec<CoverSample> {
+            run_sharded(&scenarios, 2, |_, s| run_scenario(s, kind, 1 << 22))
+        };
+        let general = run(ProcessKind::RotorGeneral);
+        let seg = run(ProcessKind::RotorSegmented);
+        let batched = run(ProcessKind::RotorBatched);
+        for ((g, s), b) in general.iter().zip(&seg).zip(&batched) {
+            let deterministic =
+                |c: &CoverSample| (c.n, c.k, c.seed_index, c.seed, c.cover, c.rounds);
+            assert_eq!(
+                deterministic(g),
+                deterministic(b),
+                "batched backend diverged at n={} k={} seed={}",
+                g.n,
+                g.k,
+                g.seed
+            );
+            assert_eq!(deterministic(s), deterministic(b));
+            assert_eq!(b.backend, "rotor_ring_batch");
+        }
+    }
+
+    #[test]
+    fn batched_kind_observer_matches_serial_run() {
+        // Satellite pin, sweep side: an observer attached through the
+        // RotorBatched kind rides the single-lane fallback and must record
+        // exactly what the serial ring backend records.
+        use rotor_core::domains::DomainSampler;
+        let scenarios = ScenarioGrid {
+            families: vec![GraphFamily::Ring],
+            ns: vec![48],
+            ks: vec![1, 3],
+            seed_count: 2,
+            base_seed: 29,
+            placement: PlacementSpec::Random,
+            init: InitSpec::Random,
+        }
+        .scenarios();
+        for sc in &scenarios {
+            let mut serial = DomainSampler::every(2);
+            let want = run_scenario_observed(sc, ProcessKind::RotorRing, 1 << 22, &mut serial);
+            let mut batched = DomainSampler::every(2);
+            let got = run_scenario_observed(sc, ProcessKind::RotorBatched, 1 << 22, &mut batched);
+            assert_eq!((want.cover, want.rounds), (got.cover, got.rounds));
+            assert_eq!(serial.samples, batched.samples, "observer trace drift");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "RotorBatched requires the Ring family")]
+    fn batched_on_non_ring_panics() {
+        let sc = Scenario {
+            family: GraphFamily::Complete,
+            n: 8,
+            k: 1,
+            seed_index: 0,
+            seed: 1,
+            placement: PlacementSpec::AllOnOne,
+            init: InitSpec::Uniform(0),
+        };
+        run_scenario(&sc, ProcessKind::RotorBatched, 100);
     }
 
     #[test]

@@ -54,15 +54,18 @@
 use crate::validate;
 use rotor_analysis::recovery::{summarize_recovery, RecoveryObs};
 use rotor_analysis::report::{write_summary, Curve, Json, Point, SCHEMA};
-use rotor_analysis::{fit_regime_scaled, median, speedup_exponent, RegimeFit};
+use rotor_analysis::{
+    bootstrap_median_band, fit_regime_scaled, median, speedup_exponent, RegimeFit,
+};
+use rotor_core::batchring::batch_width_from_env;
 use rotor_core::domains::{scan_domain_stats, DomainSampler};
 use rotor_core::faults::FaultKind;
 use rotor_core::{init::PointerInit, placement::Placement, CoverProcess, RingRouter};
 use rotor_graph::algo;
 use rotor_sweep::{
-    run_scenario, run_scenario_observed, run_scenario_recovery, run_sharded, run_sharded_checked,
-    CoverSample, FaultSpec, GraphFamily, InitSpec, PlacementSpec, ProcessKind, RecoveryOptions,
-    RecoverySample, Scenario, ScenarioGrid,
+    run_scenario, run_scenario_recovery, run_scenarios_batched, run_sharded, run_sharded_checked,
+    BatchParams, CoverSample, FaultSpec, GraphFamily, InitSpec, ObservedCover, PlacementSpec,
+    ProcessKind, RecoveryOptions, RecoverySample, Scenario, ScenarioGrid,
 };
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -377,13 +380,23 @@ fn speedup_ns(scale: Scale) -> &'static [usize] {
 
 fn speedup_seed_count(scale: Scale) -> usize {
     match scale {
-        Scale::Full => 3,
+        // 16 seeds per point: the batched ring backend advances a whole
+        // point's repetitions in one arena pass, so the seed axis is close
+        // to free there, and the extra repetitions tighten the bootstrap
+        // bands and pooled exponents everywhere.
+        Scale::Full => 16,
         Scale::Smoke => 2,
         Scale::Test => 1,
     }
 }
 
 const SPEEDUP_BASE_SEED: u64 = 0xFA111E5;
+
+/// Bootstrap resamples behind every `band_lo`/`band_hi` pair (matches the
+/// `walk_vs_rotor` bench so band widths are comparable across reports).
+const BOOTSTRAP_RESAMPLES: usize = 300;
+/// Confidence level of the bootstrap median bands.
+const BAND_CONFIDENCE: f64 = 0.95;
 
 /// One measured rotor cell of a speed-up unit: the cover round against its
 /// own graph's `2·D·|E|` bound, plus the §2.2 domain dynamics sampled
@@ -396,18 +409,30 @@ struct RotorCell {
     backend: &'static str,
 }
 
-fn run_rotor_cell(sc: &Scenario) -> RotorCell {
+/// Budget and sampling stride of one rotor cell, derived from its graph's
+/// `2·D·|E|` bound. The stride scales to the expected run length: every
+/// round on short runs, ~4096 samples on long ones — the scan fallback
+/// stays affordable off the ring, and the sample buffer stays small on it.
+/// Shape-determined for every family but `RandomRegular` (fresh graph draw
+/// per repetition), which the batched driver keeps on the serial path
+/// anyway.
+fn rotor_cell_params(sc: &Scenario) -> BatchParams {
     let bound = lockin_bound(sc);
-    // Sampling stride scaled to the expected run length: every round on
-    // short runs, ~4096 samples on long ones — the scan fallback stays
-    // affordable off the ring, and the sample buffer stays small on it.
-    let mut sampler = DomainSampler::every((bound / 4096).max(1));
-    let sample = run_scenario_observed(sc, ProcessKind::Rotor, 4 * bound, &mut sampler);
-    let cover = sample
+    BatchParams {
+        budget: 4 * bound,
+        stride: (bound / 4096).max(1),
+    }
+}
+
+/// Aggregates one observed run (batched lane or serial straggler — the
+/// traces are bit-identical) into the rotor cell the per-`k` loop consumes.
+fn rotor_cell_from(oc: &ObservedCover, bound: u64) -> RotorCell {
+    let cover = oc
+        .sample
         .cover
         .expect("rotor covers within the 4·2·D·|E| budget");
-    let max_domains = sampler
-        .samples
+    let max_domains = oc
+        .domain_samples
         .iter()
         .map(|s| s.domains)
         .max()
@@ -415,18 +440,18 @@ fn run_rotor_cell(sc: &Scenario) -> RotorCell {
     // The first *sampled* round from which the domain count stays at 1
     // (an upper bound at stride > 1); the covering round is always
     // sampled and has a single domain, so the rposition + 1 is in range.
-    let single_domain_round = sampler
-        .samples
+    let single_domain_round = oc
+        .domain_samples
         .iter()
         .rposition(|s| s.domains != 1)
-        .map(|i| sampler.samples[i + 1].round)
+        .map(|i| oc.domain_samples[i + 1].round)
         .unwrap_or(0);
     RotorCell {
         cover,
         bound,
         max_domains,
         single_domain_round,
-        backend: sample.backend,
+        backend: oc.sample.backend,
     }
 }
 
@@ -445,7 +470,24 @@ fn run_speedup_unit(family: GraphFamily, n: usize, seed_count: usize, threads: u
         init: InitSpec::Random,
     };
     let scenarios = grid.scenarios();
-    let rotor: Vec<RotorCell> = run_sharded(&scenarios, threads, |_, sc| run_rotor_cell(sc));
+    // Rotor cells go through the batched driver: contiguous same-(n, k)
+    // ring repetitions share one BatchRing arena pass (width from
+    // ROTOR_BATCH, bit-identical at every setting), other families run
+    // serially from the same combined queue. Params are precomputed so
+    // RandomRegular's per-draw diameter BFS runs once per cell.
+    let params: Vec<BatchParams> = scenarios.iter().map(rotor_cell_params).collect();
+    let observed = run_scenarios_batched(&scenarios, threads, batch_width_from_env(), |sc| {
+        let i = scenarios
+            .iter()
+            .position(|s| s.seed == sc.seed)
+            .expect("scenario from this grid");
+        params[i]
+    });
+    let rotor: Vec<RotorCell> = observed
+        .iter()
+        .zip(&params)
+        .map(|(oc, p)| rotor_cell_from(oc, p.budget / 4))
+        .collect();
     let walks: Vec<CoverSample> = run_sharded(&scenarios, threads, |_, sc| {
         run_scenario(sc, ProcessKind::RandomWalk, walk_budget(sc.n))
     });
@@ -470,7 +512,7 @@ fn run_speedup_unit(family: GraphFamily, n: usize, seed_count: usize, threads: u
     for (ki, &k) in ks.iter().enumerate() {
         let range = grid.point_range(0, 0, ki);
         let r_cells = &rotor[range.clone()];
-        let w_cells = &walks[range];
+        let w_cells = &walks[range.clone()];
 
         let mut r_covers: Vec<u64> = r_cells.iter().map(|c| c.cover).collect();
         let r_median = median(&mut r_covers).expect("non-empty point");
@@ -504,11 +546,18 @@ fn run_speedup_unit(family: GraphFamily, n: usize, seed_count: usize, threads: u
             .map(|c| c.single_domain_round)
             .max()
             .expect("non-empty");
+        // Seeded percentile-bootstrap band around the cover median, keyed
+        // by the point's first scenario seed so reassembly reproduces it.
+        let band_seed = scenarios[range.start].seed;
+        let r_band =
+            bootstrap_median_band(&r_covers, BOOTSTRAP_RESAMPLES, BAND_CONFIDENCE, band_seed);
         rotor_scaled.push((k as u64, r_ratio));
         rotor_curve.points.push(Point::new(
             k as u64,
             [
                 ("median_cover", Json::Int(r_median)),
+                ("band_lo", int_or_null(r_band.as_ref().map(|b| b.lo))),
+                ("band_hi", int_or_null(r_band.as_ref().map(|b| b.hi))),
                 ("median_ratio", Json::Num(r_ratio)),
                 ("bound_2_d_e", shared_bound),
                 ("worst_ratio", Json::Num(worst_ratio)),
@@ -535,11 +584,15 @@ fn run_speedup_unit(family: GraphFamily, n: usize, seed_count: usize, threads: u
         let walk_over_rotor = w_median
             .filter(|_| r_median > 0)
             .map(|w| w as f64 / r_median as f64);
+        let w_band =
+            bootstrap_median_band(&w_covers, BOOTSTRAP_RESAMPLES, BAND_CONFIDENCE, band_seed);
         walk_curve.points.push(Point::new(
             k as u64,
             [
                 ("covered", Json::Int(covered as u64)),
                 ("median_cover", int_or_null(w_median)),
+                ("band_lo", int_or_null(w_band.as_ref().map(|b| b.lo))),
+                ("band_hi", int_or_null(w_band.as_ref().map(|b| b.hi))),
                 ("median_ratio", num_or_null(w_ratio)),
                 ("walk_over_rotor", num_or_null(walk_over_rotor)),
             ],
@@ -1182,7 +1235,9 @@ fn torus_shapes(scale: Scale) -> &'static [(usize, usize)] {
 
 fn torus_seg_seed_count(scale: Scale) -> usize {
     match scale {
-        Scale::Full => 3,
+        // Bumped 3 → 16 alongside the family-speedup seed axis so the
+        // torus canary's medians carry the same statistical weight.
+        Scale::Full => 16,
         Scale::Smoke => 2,
         Scale::Test => 1,
     }
@@ -1408,6 +1463,7 @@ pub fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rotor_sweep::run_scenario_observed;
 
     #[test]
     fn ks_rule_matches_the_issue() {
@@ -1441,9 +1497,66 @@ mod tests {
             let family = meta.get("family").and_then(Json::as_str).unwrap();
             let backend = meta.get("backend").and_then(Json::as_str).unwrap();
             if family == "ring" {
-                assert_eq!(backend, "rotor_ring");
+                assert_eq!(backend, "rotor_ring_batch");
             } else {
                 assert_eq!(backend, "rotor_general");
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_unit_matches_the_unbatched_serial_reference() {
+        // The batched rotor path must be a pure throughput change: every
+        // aggregated field of a speed-up unit equals what the per-cell
+        // serial observed runner produces for the same grid. (This is the
+        // campaign-level shadow of the sweep/core equivalence suites.)
+        let run_serial_cell = |sc: &Scenario| -> RotorCell {
+            let p = rotor_cell_params(sc);
+            let mut sampler = DomainSampler::every(p.stride);
+            let sample = run_scenario_observed(sc, ProcessKind::Rotor, p.budget, &mut sampler);
+            rotor_cell_from(
+                &ObservedCover {
+                    sample,
+                    domain_samples: sampler.samples,
+                },
+                p.budget / 4,
+            )
+        };
+        for family in [GraphFamily::Ring, GraphFamily::BinaryTree] {
+            let n = 64;
+            let grid = ScenarioGrid {
+                families: vec![family],
+                ns: vec![n],
+                ks: ks_for(n),
+                seed_count: 3,
+                base_seed: SPEEDUP_BASE_SEED,
+                placement: PlacementSpec::Random,
+                init: InitSpec::Random,
+            };
+            let scenarios = grid.scenarios();
+            let params: Vec<BatchParams> = scenarios.iter().map(rotor_cell_params).collect();
+            let observed = run_scenarios_batched(&scenarios, 2, 4, rotor_cell_params);
+            for ((sc, oc), p) in scenarios.iter().zip(&observed).zip(&params) {
+                let got = rotor_cell_from(oc, p.budget / 4);
+                let want = run_serial_cell(sc);
+                assert_eq!(
+                    (
+                        got.cover,
+                        got.bound,
+                        got.max_domains,
+                        got.single_domain_round
+                    ),
+                    (
+                        want.cover,
+                        want.bound,
+                        want.max_domains,
+                        want.single_domain_round
+                    ),
+                    "{} n={n} k={} seed={}",
+                    family.label(),
+                    sc.k,
+                    sc.seed
+                );
             }
         }
     }

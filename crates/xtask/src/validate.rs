@@ -255,6 +255,29 @@ fn check_bench_rules(
                                 err(e);
                             }
                         }
+                        // Bootstrap band around the cover median: the
+                        // rotor column always has samples, so both edges
+                        // are required integers bracketing the median.
+                        match (int_field(p, "band_lo"), int_field(p, "band_hi")) {
+                            (Ok(lo), Ok(hi)) if lo > hi => {
+                                err(format!("band_lo = {lo} > band_hi = {hi}"));
+                            }
+                            (Ok(lo), Ok(hi)) => {
+                                if let Ok(m) = int_field(p, "median_cover") {
+                                    if m < lo || m > hi {
+                                        err(format!(
+                                            "median_cover = {m} outside its bootstrap \
+                                             band [{lo}, {hi}]"
+                                        ));
+                                    }
+                                }
+                            }
+                            (lo, hi) => {
+                                for e in [lo.err(), hi.err()].into_iter().flatten() {
+                                    err(e);
+                                }
+                            }
+                        }
                         if let Err(e) = num_field(p, "median_ratio") {
                             err(e);
                         }
@@ -289,6 +312,23 @@ fn check_bench_rules(
                             match p.get(key) {
                                 Some(v) if v.is_null() || v.as_f64().is_some() => {}
                                 other => err(format!("{key} = {other:?}, expected number or null")),
+                            }
+                        }
+                        // Walk bands are nullable (a fully timed-out point
+                        // has no covers to bootstrap) but must be ordered
+                        // when present.
+                        for key in ["band_lo", "band_hi"] {
+                            match p.get(key) {
+                                Some(v) if v.is_null() || v.as_u64().is_some() => {}
+                                other => err(format!("{key} = {other:?}, expected int or null")),
+                            }
+                        }
+                        if let (Some(lo), Some(hi)) = (
+                            p.get("band_lo").and_then(Json::as_u64),
+                            p.get("band_hi").and_then(Json::as_u64),
+                        ) {
+                            if lo > hi {
+                                err(format!("band_lo = {lo} > band_hi = {hi}"));
                             }
                         }
                     }
@@ -445,13 +485,25 @@ fn check_bench_rules(
             }
         }
         "engine_throughput" => {
+            // Per-round curves carry rounds_per_sec; the batched curve
+            // carries cells_per_sec (whole cells retired per second).
+            // Every point needs at least one of the two, positive.
             for (pi, p) in points.iter().enumerate() {
-                match num_field(p, "rounds_per_sec") {
-                    Ok(r) if r > 0.0 => {}
-                    Ok(r) => {
+                match (
+                    num_field(p, "rounds_per_sec"),
+                    num_field(p, "cells_per_sec"),
+                ) {
+                    (Ok(r), _) if r > 0.0 => {}
+                    (_, Ok(c)) if c > 0.0 => {}
+                    (Ok(r), _) => {
                         errors.push(format!("{ctx}: point #{pi}: rounds_per_sec = {r} not > 0"));
                     }
-                    Err(e) => errors.push(format!("{ctx}: point #{pi}: {e}")),
+                    (_, Ok(c)) => {
+                        errors.push(format!("{ctx}: point #{pi}: cells_per_sec = {c} not > 0"));
+                    }
+                    (Err(e), Err(_)) => {
+                        errors.push(format!("{ctx}: point #{pi}: {e} (nor cells_per_sec)"));
+                    }
                 }
             }
         }
@@ -665,6 +717,46 @@ fn check_report_rules(bench: &str, report: &Json, curves: &[Json], errors: &mut 
                 }
             }
         }
+        // The batch-of-cells contract: the cells/sec-vs-W curve over the
+        // full width ladder, with the 64-wide batch retiring cells at
+        // least 1.5× the serial per-cell rate (the committed win
+        // criterion of the batched ring engine).
+        let batch_label = "batched_ring_cells_per_sec";
+        match curves
+            .iter()
+            .find(|c| c.get("label").and_then(Json::as_str) == Some(batch_label))
+        {
+            None => errors.push(format!(
+                "missing the batched ring cells/sec-vs-width curve (label \"{batch_label}\")"
+            )),
+            Some(curve) => {
+                let points = curve
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .map(<[Json]>::to_vec)
+                    .unwrap_or_default();
+                let xs: Vec<u64> = points.iter().filter_map(|p| p.get("x")?.as_u64()).collect();
+                if xs != [1, 2, 8, 64] {
+                    errors.push(format!(
+                        "batched ring curve x = {xs:?}, expected batch widths [1, 2, 8, 64]"
+                    ));
+                }
+                let speedup64 = points
+                    .iter()
+                    .find(|p| p.get("x").and_then(Json::as_u64) == Some(64))
+                    .and_then(|p| p.get("speedup_vs_serial"))
+                    .and_then(Json::as_f64);
+                match speedup64 {
+                    Some(s) if s >= 1.5 => {}
+                    Some(s) => errors.push(format!(
+                        "batched ring at W = 64 retires cells at {s:.2}× the serial \
+                         per-cell rate, below the 1.5× gate"
+                    )),
+                    None => errors
+                        .push("batched ring W = 64 point needs a numeric speedup_vs_serial".into()),
+                }
+            }
+        }
     }
     if bench == "return_time" {
         let families: Vec<&str> = curves
@@ -790,12 +882,14 @@ mod tests {
                  "curves":[
                    {{"label":"rotor/{family}/n64",
                      "meta":{{"process":"rotor","family":"{family}","n":64}},"fit":null,
-                     "points":[{{"x":1,"median_cover":100,"median_ratio":0.5,
+                     "points":[{{"x":1,"median_cover":100,"band_lo":90,"band_hi":112,
+                                 "median_ratio":0.5,
                                  "bound_2_d_e":200,"worst_ratio":0.6,
                                  "max_domains":2,"single_domain_round":7}}]}},
                    {{"label":"walk/{family}/n64",
                      "meta":{{"process":"walk","family":"{family}","n":64}},"fit":null,
                      "points":[{{"x":1,"covered":3,"median_cover":180,
+                                 "band_lo":160,"band_hi":210,
                                  "median_ratio":0.9,"walk_over_rotor":1.8}}]}}
                  ]}}"#
         ))
@@ -809,7 +903,8 @@ mod tests {
 
         let bad = minimal(
             "general_graphs",
-            r#"[{"x":1,"median_cover":100,"median_ratio":0.2,"bound_2_d_e":null,
+            r#"[{"x":1,"median_cover":100,"band_lo":120,"band_hi":95,"median_ratio":0.2,
+                 "bound_2_d_e":null,
                  "worst_ratio":9.0,"max_domains":0,"single_domain_round":7}]"#,
             r#"{"process":"rotor"}"#,
             "{}",
@@ -817,14 +912,42 @@ mod tests {
         let errors = validate(&bad, &Options::default());
         assert!(errors.iter().any(|e| e.contains("worst_ratio")));
         assert!(errors.iter().any(|e| e.contains("max_domains")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("band_lo = 120 > band_hi = 95")));
         assert!(errors.iter().any(|e| e.contains("meta.family")));
         assert!(errors.iter().any(|e| e.contains("domain_sampler_speedup")));
         assert!(errors.iter().any(|e| e.contains("meta.speedups")));
 
+        // a rotor point without its bootstrap band must fail, and a
+        // median outside its own band is incoherent
+        let bandless = minimal(
+            "general_graphs",
+            r#"[{"x":1,"median_cover":100,"median_ratio":0.5,"bound_2_d_e":200,
+                 "worst_ratio":0.6,"max_domains":2,"single_domain_round":7}]"#,
+            r#"{"process":"rotor","family":"path","n":64}"#,
+            r#"{"domain_sampler_speedup_n4096":40.0,"speedups":[]}"#,
+        );
+        assert!(validate(&bandless, &Options::default())
+            .iter()
+            .any(|e| e.contains("band_lo missing")));
+        let outside = minimal(
+            "general_graphs",
+            r#"[{"x":1,"median_cover":100,"band_lo":150,"band_hi":200,"median_ratio":0.5,
+                 "bound_2_d_e":200,
+                 "worst_ratio":0.6,"max_domains":2,"single_domain_round":7}]"#,
+            r#"{"process":"rotor","family":"path","n":64}"#,
+            r#"{"domain_sampler_speedup_n4096":40.0,"speedups":[]}"#,
+        );
+        assert!(validate(&outside, &Options::default())
+            .iter()
+            .any(|e| e.contains("outside its bootstrap band")));
+
         // a rotor column whose walk pair is missing must fail
         let unpaired = minimal(
             "general_graphs",
-            r#"[{"x":1,"median_cover":100,"median_ratio":0.5,"bound_2_d_e":200,
+            r#"[{"x":1,"median_cover":100,"band_lo":90,"band_hi":112,"median_ratio":0.5,
+                 "bound_2_d_e":200,
                  "worst_ratio":0.6,"max_domains":2,"single_domain_round":7}]"#,
             r#"{"process":"rotor","family":"path","n":64}"#,
             r#"{"domain_sampler_speedup_n4096":40.0,
@@ -992,9 +1115,16 @@ mod tests {
         assert!(errors.iter().any(|e| e.contains("placement columns")));
     }
 
+    /// A known-good batched cells/sec-vs-width curve, shared by every
+    /// throughput fixture that is not exercising the batch rules.
+    const GOOD_BATCH_POINTS: &str = r#"[{"x":1,"cells_per_sec":10.0,"speedup_vs_serial":1.0},
+        {"x":2,"cells_per_sec":15.0,"speedup_vs_serial":1.5},
+        {"x":8,"cells_per_sec":24.0,"speedup_vs_serial":2.4},
+        {"x":64,"cells_per_sec":30.0,"speedup_vs_serial":3.0}]"#;
+
     /// A well-formed engine_throughput report: the workload curve (x not
-    /// monotone by design) plus the two required segmented curves.
-    fn throughput_report_full(seg_points: &str, torus_points: &str) -> Json {
+    /// monotone by design) plus the required segmented and batched curves.
+    fn throughput_report_batched(seg_points: &str, torus_points: &str, batch_points: &str) -> Json {
         Json::parse(&format!(
             r#"{{"schema":"rotor-experiment/1","bench":"engine_throughput","threads":1,
                  "meta":{{}},
@@ -1004,10 +1134,18 @@ mod tests {
                    {{"label":"segmented_ring_rounds_per_sec","meta":{{"n":2097152}},"fit":null,
                      "points":{seg_points}}},
                    {{"label":"segmented_torus_rounds_per_sec","meta":{{"rows":1024}},"fit":null,
-                     "points":{torus_points}}}
+                     "points":{torus_points}}},
+                   {{"label":"batched_ring_cells_per_sec","meta":{{"n":8192}},"fit":null,
+                     "points":{batch_points}}}
                  ]}}"#
         ))
         .expect("well-formed test report")
+    }
+
+    /// [`throughput_report_batched`] with a known-good batch curve, for
+    /// tests that exercise the segmented rules.
+    fn throughput_report_full(seg_points: &str, torus_points: &str) -> Json {
+        throughput_report_batched(seg_points, torus_points, GOOD_BATCH_POINTS)
     }
 
     /// [`throughput_report_full`] with a known-good torus curve, for
@@ -1106,6 +1244,65 @@ mod tests {
         assert!(validate(&slow4, &Options::default())
             .iter()
             .any(|e| e.contains("segmented torus backend at P = 4") && e.contains("slower")));
+    }
+
+    #[test]
+    fn engine_throughput_requires_the_batched_curve() {
+        let good_ring = r#"[{"x":1,"rounds_per_sec":100.0},{"x":2,"rounds_per_sec":150.0},
+                            {"x":4,"rounds_per_sec":250.0},{"x":8,"rounds_per_sec":240.0}]"#;
+        let good_torus = r#"[{"x":1,"rounds_per_sec":100.0},{"x":2,"rounds_per_sec":140.0},
+                             {"x":4,"rounds_per_sec":130.0},{"x":8,"rounds_per_sec":110.0}]"#;
+
+        let ok = throughput_report_batched(good_ring, good_torus, GOOD_BATCH_POINTS);
+        assert_eq!(validate(&ok, &Options::default()), Vec::<String>::new());
+
+        // a report without the batch curve fails
+        let missing = minimal(
+            "engine_throughput",
+            r#"[{"x":4096,"rounds_per_sec":1.0}]"#,
+            "{}",
+            "{}",
+        );
+        assert!(validate(&missing, &Options::default())
+            .iter()
+            .any(|e| e.contains("missing the batched ring")));
+
+        // a truncated width ladder fails
+        let short = throughput_report_batched(
+            good_ring,
+            good_torus,
+            r#"[{"x":1,"cells_per_sec":10.0,"speedup_vs_serial":1.0},
+                {"x":64,"cells_per_sec":30.0,"speedup_vs_serial":3.0}]"#,
+        );
+        assert!(validate(&short, &Options::default())
+            .iter()
+            .any(|e| e.contains("expected batch widths")));
+
+        // W = 64 below the 1.5x per-cell gate fails
+        let slow = throughput_report_batched(
+            good_ring,
+            good_torus,
+            r#"[{"x":1,"cells_per_sec":10.0,"speedup_vs_serial":1.0},
+                {"x":2,"cells_per_sec":11.0,"speedup_vs_serial":1.1},
+                {"x":8,"cells_per_sec":12.0,"speedup_vs_serial":1.2},
+                {"x":64,"cells_per_sec":13.0,"speedup_vs_serial":1.3}]"#,
+        );
+        assert!(validate(&slow, &Options::default())
+            .iter()
+            .any(|e| e.contains("below the 1.5× gate")));
+
+        // a cells_per_sec point <= 0 trips the generic point rule
+        let zero = throughput_report_batched(
+            good_ring,
+            good_torus,
+            r#"[{"x":1,"cells_per_sec":0.0,"speedup_vs_serial":1.0},
+                {"x":2,"cells_per_sec":15.0,"speedup_vs_serial":1.5},
+                {"x":8,"cells_per_sec":24.0,"speedup_vs_serial":2.4},
+                {"x":64,"cells_per_sec":30.0,"speedup_vs_serial":3.0}]"#,
+        );
+        assert!(validate(&zero, &Options::default())
+            .iter()
+            .any(|e| e.contains("cells_per_sec = 0 not > 0")));
     }
 
     #[test]
